@@ -1,0 +1,34 @@
+"""Benchmark harness configuration.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Every paper figure/table
+has one benchmark module that executes its experiment driver at the
+``small`` scale (laptop seconds), prints the same rows/series the paper
+reports, and asserts the qualitative shape that survives trace scaling.
+``--scale medium`` reproductions for the record live in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import SMALL
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """Workload scale shared by all figure benchmarks."""
+    return SMALL
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment driver exactly once under the benchmark timer.
+
+    The trace experiments are seconds-long end-to-end simulations; a single
+    timed round keeps the suite fast while still recording wall time.
+    """
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,13 @@
+"""Bench: Fig 1 -- running time vs pairwise distance (flit engine)."""
+
+
+from repro.experiments import fig01_testsuite
+
+
+def test_fig01_dispersal_correlation(run_once, scale):
+    result = run_once(fig01_testsuite.run, scale)
+    print()
+    print(fig01_testsuite.report(result))
+    # The paper's relationship: running time grows with dispersal.
+    assert result.fit.r > 0.8
+    assert result.fit.slope > 0

@@ -1,0 +1,14 @@
+"""Bench: Fig 2 -- curve construction and renderings."""
+
+
+from repro.experiments import fig02_curves
+
+
+def test_fig02_curve_orderings(run_once, scale):
+    result = run_once(fig02_curves.run, scale)
+    print()
+    print(fig02_curves.report(result))
+    for name, curve in result.curves.items():
+        assert curve.n_gaps() == 0, name
+    assert result.curves["h-indexing"].is_cycle()
+    assert not result.curves["hilbert"].is_cycle()

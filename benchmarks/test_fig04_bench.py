@@ -1,0 +1,15 @@
+"""Bench: Fig 4 -- MC shell evaluation."""
+
+
+from repro.experiments import fig04_shells
+
+
+def test_fig04_shell_costs(run_once, scale):
+    result = run_once(fig04_shells.run, scale)
+    print()
+    print(fig04_shells.report(result))
+    # Fully free submeshes cost 0; every cost is non-negative.
+    assert min(result.anchor_costs.values()) >= 0
+    assert result.anchor_costs[result.best_anchor] == min(
+        result.anchor_costs.values()
+    )

@@ -1,0 +1,18 @@
+"""Bench: Fig 5 -- the n-body message schedule."""
+
+import numpy as np
+
+
+from repro.experiments import fig05_nbody
+
+
+def test_fig05_nbody_schedule(run_once, scale):
+    result = run_once(fig05_nbody.run, scale)
+    print()
+    print(fig05_nbody.report(result))
+    # Paper: floor(15/2) = 7 ring subphases, then one chordal subphase.
+    assert result.n_ring_subphases == 7
+    assert result.messages_per_cycle == (7 + 1) * 15
+    assert np.array_equal(
+        result.chordal_round[:, 1], (result.chordal_round[:, 0] + 7) % 15
+    )

@@ -1,0 +1,21 @@
+"""Bench: Figs 9 & 10 -- which dispersal metric predicts running time.
+
+The paper's Section 4.3 finding is a *contrast*: average message distance
+(Fig 10) correlates tightly with running time while average pairwise
+distance (Fig 9) does not.  Both figures come from the same pooled run, so
+this is one benchmark with both reports.
+"""
+
+from repro.experiments import metric_correlation
+
+
+def test_fig09_fig10_metric_contrast(run_once, scale):
+    result = run_once(metric_correlation.run, scale)
+    print()
+    print(metric_correlation.report_fig9(result))
+    print()
+    print(metric_correlation.report_fig10(result))
+    assert result.n_jobs >= scale.fig9_min_samples
+    # Fig 10 is tight; Fig 9 is not (the paper's qualitative claim).
+    assert result.r_message > 0.8
+    assert result.r_message > result.r_pairwise + 0.2

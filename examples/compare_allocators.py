@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Compare the paper's nine allocation strategies on a trace-driven run.
+
+A miniature of the paper's Fig 8 grid: the SDSC-Paragon-like synthetic
+trace plays through the FCFS simulator on a 16x16 mesh for each strategy
+and each of two communication patterns; the table shows how the ordering
+changes with the pattern -- the paper's central observation.
+
+Run:  python examples/compare_allocators.py [n_jobs]
+"""
+
+import sys
+
+from repro import Mesh2D, make_allocator
+from repro.analysis.tables import format_table
+from repro.experiments.sweep import PAPER_ALLOCATORS
+from repro.patterns import get_pattern
+from repro.sched import Simulation, summarize
+from repro.trace import drop_oversized, sdsc_paragon_trace
+
+n_jobs = int(sys.argv[1]) if len(sys.argv) > 1 else 250
+
+mesh = Mesh2D(16, 16)
+jobs = drop_oversized(
+    sdsc_paragon_trace(seed=7, n_jobs=n_jobs, runtime_scale=0.02), mesh.n_nodes
+)
+print(f"trace: {len(jobs)} jobs on {mesh}")
+
+for pattern_name in ("all-to-all", "n-body"):
+    rows = []
+    for name in PAPER_ALLOCATORS:
+        sim = Simulation(
+            mesh,
+            make_allocator(name),
+            get_pattern(pattern_name),
+            jobs,
+            seed=7,
+        )
+        s = summarize(sim.run())
+        rows.append(
+            {
+                "allocator": name,
+                "mean response (s)": s.mean_response,
+                "service stretch": s.mean_stretch,
+                "% contiguous": 100 * s.fraction_contiguous,
+            }
+        )
+    rows.sort(key=lambda r: r["mean response (s)"])
+    print()
+    print(
+        format_table(
+            rows,
+            title=f"pattern = {pattern_name} (best to worst)",
+            float_fmt=".2f",
+        )
+    )

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+This environment has no network access and no `wheel` package, so PEP 660
+editable installs (which need `bdist_wheel`) cannot run; keeping a setup.py
+lets `pip install -e .` fall back to the legacy `setup.py develop` path.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

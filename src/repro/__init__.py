@@ -1,0 +1,49 @@
+"""repro: reproduction of "Communication Patterns and Allocation Strategies".
+
+Leung, Bunde & Mache (SAND2003-4522 / IPPS 2004) compare processor
+allocation strategies on mesh-connected, space-shared machines under
+different communication patterns.  This package implements the full system:
+the allocators (:mod:`repro.core`), the mesh machine and network substrates
+(:mod:`repro.mesh`, :mod:`repro.network`), the communication patterns
+(:mod:`repro.patterns`), the FCFS trace-driven simulator (:mod:`repro.sched`),
+the workload substrate (:mod:`repro.trace`), and drivers regenerating every
+figure and table of the paper (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import Mesh2D, Machine, make_allocator, Request
+
+    mesh = Mesh2D(16, 16)
+    machine = Machine(mesh)
+    alloc = make_allocator("hilbert+bf").allocate(Request(size=30), machine)
+    machine.allocate(alloc.nodes, job_id=0)
+
+See ``examples/`` for runnable scenarios and DESIGN.md for the system map.
+"""
+
+from repro.core import (
+    Allocation,
+    Allocator,
+    Request,
+    get_curve,
+    make_allocator,
+    paper_allocators,
+)
+from repro.mesh import Machine, Mesh2D, Mesh3D
+from repro.patterns import get_pattern
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Mesh2D",
+    "Mesh3D",
+    "Machine",
+    "Request",
+    "Allocation",
+    "Allocator",
+    "make_allocator",
+    "paper_allocators",
+    "get_curve",
+    "get_pattern",
+    "__version__",
+]

@@ -1,0 +1,6 @@
+"""Analysis utilities: correlations (Figs 1/9/10) and table formatting."""
+
+from repro.analysis.correlation import linear_fit, pearson_r, spearman_r
+from repro.analysis.tables import format_table
+
+__all__ = ["pearson_r", "spearman_r", "linear_fit", "format_table"]

@@ -1,0 +1,79 @@
+"""Correlation measures for the metric-validation experiments.
+
+Section 4.3 compares how well two dispersal metrics predict running time:
+average pairwise distance (Fig 9 -- "no clear relationship") versus average
+message distance (Fig 10 -- "a reasonably tight relationship").  These
+helpers quantify that comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["pearson_r", "spearman_r", "linear_fit", "LinearFit"]
+
+
+def _clean(x, y) -> tuple[np.ndarray, np.ndarray]:
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError("x and y must be 1-D arrays of equal length")
+    if len(x) < 2:
+        raise ValueError("need at least two points")
+    return x, y
+
+
+def pearson_r(x, y) -> float:
+    """Pearson correlation coefficient (0.0 when either side is constant)."""
+    x, y = _clean(x, y)
+    sx, sy = x.std(), y.std()
+    if sx == 0 or sy == 0:
+        return 0.0
+    return float(((x - x.mean()) * (y - y.mean())).mean() / (sx * sy))
+
+
+def spearman_r(x, y) -> float:
+    """Spearman rank correlation (average ranks on ties)."""
+    x, y = _clean(x, y)
+    return pearson_r(_rank(x), _rank(y))
+
+
+def _rank(v: np.ndarray) -> np.ndarray:
+    order = np.argsort(v, kind="stable")
+    ranks = np.empty(len(v), dtype=np.float64)
+    ranks[order] = np.arange(len(v))
+    # average ties
+    for val in np.unique(v):
+        mask = v == val
+        if mask.sum() > 1:
+            ranks[mask] = ranks[mask].mean()
+    return ranks
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Least-squares line with goodness of fit."""
+
+    slope: float
+    intercept: float
+    r: float
+
+    @property
+    def r_squared(self) -> float:
+        """Coefficient of determination."""
+        return self.r * self.r
+
+    def predict(self, x) -> np.ndarray:
+        """Evaluate the fitted line."""
+        return self.slope * np.asarray(x, dtype=np.float64) + self.intercept
+
+
+def linear_fit(x, y) -> LinearFit:
+    """Ordinary least squares fit of ``y = slope * x + intercept``."""
+    x, y = _clean(x, y)
+    if x.std() == 0:
+        return LinearFit(slope=0.0, intercept=float(y.mean()), r=0.0)
+    slope, intercept = np.polyfit(x, y, deg=1)
+    return LinearFit(slope=float(slope), intercept=float(intercept), r=pearson_r(x, y))

@@ -1,0 +1,53 @@
+"""Plain-text table rendering for experiment reports."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+__all__ = ["format_table"]
+
+
+def _fmt(value, float_fmt: str) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format(value, float_fmt)
+    return str(value)
+
+
+def format_table(
+    rows: Iterable[Mapping],
+    columns: Sequence[str] | None = None,
+    float_fmt: str = ".2f",
+    title: str | None = None,
+) -> str:
+    """Render dict rows as an aligned plain-text table.
+
+    ``columns`` selects/orders the keys (defaults to the first row's keys).
+    Floats format with ``float_fmt``; all cells right-align except the first
+    column.
+    """
+    rows = list(rows)
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    cells = [[_fmt(row.get(col, ""), float_fmt) for col in columns] for row in rows]
+    widths = [
+        max(len(str(col)), *(len(r[i]) for r in cells))
+        for i, col in enumerate(columns)
+    ]
+
+    def render_row(values: Sequence[str]) -> str:
+        parts = []
+        for i, v in enumerate(values):
+            parts.append(v.ljust(widths[i]) if i == 0 else v.rjust(widths[i]))
+        return "  ".join(parts)
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row([str(c) for c in columns]))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render_row(r) for r in cells)
+    return "\n".join(lines)

@@ -1,0 +1,56 @@
+"""Core contribution: processor-allocation strategies and their metrics.
+
+Implements every allocator the paper evaluates (Section 2):
+
+* **Paging / one-dimensional reduction** (:mod:`repro.core.paging`): order
+  the mesh along a curve (:mod:`repro.core.curves`: S-curve, Hilbert,
+  H-indexing, row-major), then pick free processors with a sorted free
+  list, First Fit, Best Fit, or Sum-of-Squares bin heuristic.
+* **Gen-Alg** (:mod:`repro.core.genalg`): Krumke et al.'s
+  (2 - 2/k)-approximation for minimum average pairwise distance.
+* **MC / MC1x1** (:mod:`repro.core.mc`): Mache, Lo & Windisch's shell-cost
+  allocator and the shape-free variant deployed on Cplant.
+
+plus the allocation-quality metrics of Section 4.3
+(:mod:`repro.core.metrics`) and a by-name registry
+(:func:`repro.core.registry.make_allocator`).
+"""
+
+from repro.core.base import Allocation, Allocator, Request
+from repro.core.contiguous import FirstFitSubmesh
+from repro.core.curves import Curve, get_curve, hilbert, h_indexing, row_major, s_curve
+from repro.core.genalg import GenAlgAllocator
+from repro.core.hybrid import HybridAllocator
+from repro.core.mc import MCAllocator
+from repro.core.metrics import (
+    average_pairwise_hops,
+    components,
+    is_contiguous,
+    n_components,
+)
+from repro.core.paging import PagingAllocator
+from repro.core.registry import allocator_names, make_allocator, paper_allocators
+
+__all__ = [
+    "Request",
+    "Allocation",
+    "Allocator",
+    "Curve",
+    "get_curve",
+    "s_curve",
+    "hilbert",
+    "h_indexing",
+    "row_major",
+    "PagingAllocator",
+    "GenAlgAllocator",
+    "MCAllocator",
+    "FirstFitSubmesh",
+    "HybridAllocator",
+    "make_allocator",
+    "allocator_names",
+    "paper_allocators",
+    "average_pairwise_hops",
+    "components",
+    "n_components",
+    "is_contiguous",
+]

@@ -1,0 +1,291 @@
+"""Space-filling and fractal curve orderings of mesh processors (Section 2.1).
+
+A :class:`Curve` is a bijection between curve ranks ``0 .. n-1`` and the
+node ids of a mesh.  The one-dimensional-reduction (Paging) allocators treat
+the machine as this rank line and pack jobs into intervals of it.
+
+Implemented orderings:
+
+* :func:`row_major` -- Lo et al.'s simplest page ordering,
+* :func:`s_curve` -- boustrophedon/snake ordering (Fig 2a); on non-square
+  meshes the straight runs can go along the short or the long dimension
+  (the paper's "quick simulations" preferred the short direction, which is
+  the default),
+* :func:`hilbert` -- the Hilbert space-filling curve (Fig 2b),
+* :func:`h_indexing` -- the closed (Hamiltonian-cycle) fractal indexing of
+  Niedermeier, Reinhardt & Sanders (Fig 2c).  We reconstruct it as the
+  closed Hilbert-family cycle (four order-(k-1) Hilbert sub-curves joined
+  left-half-up / right-half-down, i.e. the Moore-curve composition); the
+  original paper's exact reflection conventions are not recoverable from
+  the figure, and every structural property the experiments rely on
+  (Hamiltonian cycle, unit steps, Hilbert-class locality, truncation gaps)
+  is preserved and property-tested.  See DESIGN.md substitution #4.
+
+Non-power-of-two meshes follow the paper exactly: "To get a curve for the
+16 x 22 machine, we truncated a 32 x 32 curve to the appropriate size.  The
+result is 'curves' with gaps" (Section 4, Fig 6).  :meth:`Curve.gap_ranks`
+exposes where those gaps fall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.mesh.topology import Mesh2D
+
+__all__ = [
+    "Curve",
+    "row_major",
+    "s_curve",
+    "hilbert",
+    "h_indexing",
+    "get_curve",
+    "curve_names",
+    "hilbert_points",
+    "h_indexing_points",
+]
+
+
+# ----------------------------------------------------------------------
+# Point generators on 2^k x 2^k grids
+# ----------------------------------------------------------------------
+def _hilbert_d2xy(order: int, d: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorised index -> (x, y) on a ``2^order`` Hilbert curve.
+
+    Standard bit-twiddling conversion; the curve starts at (0, 0) and ends
+    at (2^order - 1, 0).
+    """
+    n = 1 << order
+    t = np.asarray(d, dtype=np.int64).copy()
+    x = np.zeros_like(t)
+    y = np.zeros_like(t)
+    s = 1
+    while s < n:
+        rx = 1 & (t // 2)
+        ry = 1 & (t ^ rx)
+        # Rotate the quadrant contents.
+        flip = ry == 0
+        swap_only = flip & (rx == 0)
+        flip_both = flip & (rx == 1)
+        x_f, y_f = x[flip_both], y[flip_both]
+        x[flip_both] = s - 1 - x_f
+        y[flip_both] = s - 1 - y_f
+        x_flip, y_flip = x[flip].copy(), y[flip].copy()
+        x[flip], y[flip] = y_flip, x_flip
+        del swap_only  # (swap applies to the whole flip branch)
+        x += s * rx
+        y += s * ry
+        t //= 4
+        s *= 2
+    return x, y
+
+
+def hilbert_points(order: int) -> np.ndarray:
+    """All points of the 2^order Hilbert curve, as an ``(n*n, 2)`` array."""
+    if order < 0:
+        raise ValueError("order must be >= 0")
+    n = 1 << order
+    d = np.arange(n * n, dtype=np.int64)
+    x, y = _hilbert_d2xy(order, d)
+    return np.stack([x, y], axis=1)
+
+
+def h_indexing_points(order: int) -> np.ndarray:
+    """All points of the closed H-indexing cycle on a 2^order grid.
+
+    Composition (left half ascends, right half descends; see module
+    docstring): with ``m = 2^(order-1)`` and ``P`` the order-(order-1)
+    Hilbert path from (0,0) to (m-1,0),
+
+    * bottom-left : ``(x,y) -> (m-1-y, x)``          starts (m-1,0), ends (m-1,m-1)
+    * top-left    : same, offset (0, m)
+    * top-right   : ``(x,y) -> (y, m-1-x)``, offset (m, m)
+    * bottom-right: same, offset (m, 0)               ends (m, 0)
+
+    The final point (m, 0) is adjacent to the first (m-1, 0): a Hamiltonian
+    cycle.  For ``order == 0`` the single cell is returned.
+    """
+    if order < 0:
+        raise ValueError("order must be >= 0")
+    if order == 0:
+        return np.zeros((1, 2), dtype=np.int64)
+    m = 1 << (order - 1)
+    p = hilbert_points(order - 1)
+    x, y = p[:, 0], p[:, 1]
+    ccw = np.stack([m - 1 - y, x], axis=1)   # 90 degrees counter-clockwise
+    cw = np.stack([y, m - 1 - x], axis=1)    # 90 degrees clockwise
+    bl = ccw
+    tl = ccw + (0, m)
+    tr = cw + (m, m)
+    br = cw + (m, 0)
+    return np.concatenate([bl, tl, tr, br], axis=0)
+
+
+def _s_curve_points(width: int, height: int, runs: str) -> np.ndarray:
+    """Snake ordering points for an exact ``width x height`` grid."""
+    if runs not in ("x", "y"):
+        raise ValueError("runs must be 'x' or 'y'")
+    pts = []
+    if runs == "x":  # straight runs along x, snaking upward through rows
+        for y in range(height):
+            xs = range(width) if y % 2 == 0 else range(width - 1, -1, -1)
+            pts.extend((x, y) for x in xs)
+    else:  # straight runs along y, snaking across columns
+        for x in range(width):
+            ys = range(height) if x % 2 == 0 else range(height - 1, -1, -1)
+            pts.extend((x, y) for y in ys)
+    return np.asarray(pts, dtype=np.int64)
+
+
+# ----------------------------------------------------------------------
+# Curve object
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Curve:
+    """An ordering of all processors of a mesh.
+
+    Attributes
+    ----------
+    name:
+        Registry name (``"hilbert"``, ``"s-curve"``, ...).
+    mesh:
+        The mesh being ordered.
+    order:
+        ``order[rank] == node_id``; length ``mesh.n_nodes``.
+    rank:
+        Inverse permutation, ``rank[node_id] == rank``.
+    """
+
+    name: str
+    mesh: Mesh2D
+    order: np.ndarray
+    rank: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        order = np.asarray(self.order, dtype=np.int64)
+        n = self.mesh.n_nodes
+        if sorted(order.tolist()) != list(range(n)):
+            raise ValueError(f"curve order is not a permutation of 0..{n - 1}")
+        object.__setattr__(self, "order", order)
+        rank = np.empty(n, dtype=np.int64)
+        rank[order] = np.arange(n)
+        object.__setattr__(self, "rank", rank)
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of processors ordered by the curve."""
+        return self.mesh.n_nodes
+
+    def step_lengths(self) -> np.ndarray:
+        """Manhattan distance of each consecutive step along the curve."""
+        a = self.order[:-1]
+        b = self.order[1:]
+        return self.mesh.manhattan(a, b)
+
+    def gap_ranks(self) -> np.ndarray:
+        """Ranks ``r`` where the step ``r -> r+1`` is not a unit mesh step.
+
+        Exact-size curves on power-of-two square meshes have no gaps; the
+        truncated curves of Fig 6 do ("arrows indicate the processor after
+        a gap" -- those processors are at ranks ``gap_ranks() + 1``).
+        """
+        return np.flatnonzero(self.step_lengths() > 1)
+
+    def n_gaps(self) -> int:
+        """Number of discontinuities along the curve."""
+        return len(self.gap_ranks())
+
+    def is_cycle(self) -> bool:
+        """True if the last processor is mesh-adjacent to the first."""
+        return bool(
+            self.mesh.manhattan(int(self.order[-1]), int(self.order[0])) == 1
+        )
+
+    def points(self) -> np.ndarray:
+        """``(n, 2)`` array of (x, y) coordinates in curve order."""
+        xs = self.mesh.xs(self.order)
+        ys = self.mesh.ys(self.order)
+        return np.stack([xs, ys], axis=1)
+
+
+def _points_to_curve(name: str, mesh: Mesh2D, pts: np.ndarray) -> Curve:
+    """Filter full-grid points to the mesh and build a Curve (truncation)."""
+    keep = (pts[:, 0] < mesh.width) & (pts[:, 1] < mesh.height)
+    pts = pts[keep]
+    order = pts[:, 1] * mesh.width + pts[:, 0]
+    return Curve(name=name, mesh=mesh, order=order)
+
+
+def _enclosing_order(mesh: Mesh2D) -> int:
+    side = max(mesh.width, mesh.height)
+    order = 0
+    while (1 << order) < side:
+        order += 1
+    return order
+
+
+# ----------------------------------------------------------------------
+# Public builders
+# ----------------------------------------------------------------------
+def row_major(mesh: Mesh2D) -> Curve:
+    """Row-major ordering (Lo et al.'s baseline page order)."""
+    return Curve("row-major", mesh, np.arange(mesh.n_nodes, dtype=np.int64))
+
+
+def s_curve(mesh: Mesh2D, runs: str = "short") -> Curve:
+    """Boustrophedon (snake) ordering.
+
+    ``runs`` selects the direction of the straight runs: ``"x"``, ``"y"``,
+    ``"short"`` (runs along the shorter mesh dimension; the paper's choice)
+    or ``"long"``.  On square meshes ``"short"`` resolves to ``"x"``.
+    """
+    if runs == "short":
+        runs = "x" if mesh.width <= mesh.height else "y"
+    elif runs == "long":
+        runs = "y" if mesh.width <= mesh.height else "x"
+    pts = _s_curve_points(mesh.width, mesh.height, runs)
+    order = pts[:, 1] * mesh.width + pts[:, 0]
+    return Curve("s-curve", mesh, order)
+
+
+def hilbert(mesh: Mesh2D) -> Curve:
+    """Hilbert curve ordering, truncated from the enclosing 2^k square."""
+    pts = hilbert_points(_enclosing_order(mesh))
+    return _points_to_curve("hilbert", mesh, pts)
+
+
+def h_indexing(mesh: Mesh2D) -> Curve:
+    """H-indexing (closed fractal cycle), truncated from the enclosing square."""
+    pts = h_indexing_points(_enclosing_order(mesh))
+    return _points_to_curve("h-indexing", mesh, pts)
+
+
+_BUILDERS = {
+    "row-major": row_major,
+    "s-curve": s_curve,
+    "hilbert": hilbert,
+    "h-indexing": h_indexing,
+}
+
+_CACHE: dict[tuple, Curve] = {}
+
+
+def get_curve(name: str, mesh: Mesh2D, **kwargs) -> Curve:
+    """Build (and cache) a named curve for a mesh."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise KeyError(f"unknown curve {name!r}; known: {sorted(_BUILDERS)}") from None
+    key = (name, mesh.width, mesh.height, mesh.torus, tuple(sorted(kwargs.items())))
+    curve = _CACHE.get(key)
+    if curve is None:
+        curve = builder(mesh, **kwargs)
+        _CACHE[key] = curve
+    return curve
+
+
+def curve_names() -> list[str]:
+    """Names of all available curve orderings."""
+    return sorted(_BUILDERS)

@@ -1,0 +1,156 @@
+"""MC and MC1x1 shell-cost allocators (Section 2.3, Fig 4).
+
+MC (Mache, Lo & Windisch) assumes jobs request a submesh shape such as
+4 x 6.  Every candidate placement is scored by looking at the requested
+submesh ("shell 0") and the rectangular rings ("shells") around it:
+free processors are weighted by their shell number -- 0 inside the
+submesh, 1 in the first ring, 2 in the second, and so on -- and the
+allocation's cost is the summed weight of the k free processors it would
+actually take, innermost shells first.  The placement with the lowest cost
+wins; a perfectly free submesh costs 0.
+
+MC1x1 is the Cplant-deployable variant: shell 0 is a single processor and
+shells grow the same way (Chebyshev rings), so no shape is needed.  Krumke
+et al.'s result implies MC1x1 is a (4 - 4/k)-approximation for average
+pairwise distance.
+
+Because Cplant jobs carry no shape, our MC infers one: the most-square
+rectangle ``a x b`` with ``a * b >= k`` and minimal perimeter (then minimal
+area), the natural reading of "users request an allocation with dimensions
+that can fit the job".  An explicitly provided :attr:`Request.shape`
+overrides the inference.
+
+Conventions the paper leaves open (DESIGN.md substitution #5): candidate
+placements are all anchor positions where the submesh lies inside the mesh
+(every free processor for MC1x1); shells are clipped at mesh boundaries;
+within a tied shell processors are taken in row-major order; tied anchors
+resolve to the lowest row-major anchor.  Returned rank order is
+(shell, row-major) -- innermost first.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import Allocation, Allocator, Request
+from repro.mesh.machine import Machine
+from repro.mesh.topology import Mesh2D
+
+__all__ = ["MCAllocator", "infer_shape", "shell_map"]
+
+
+def infer_shape(k: int, mesh: Mesh2D) -> tuple[int, int]:
+    """Most-square covering rectangle for ``k`` processors that fits ``mesh``.
+
+    Minimises (perimeter, area, width) over rectangles with ``a * b >= k``
+    clipped to the mesh dimensions; e.g. 12 -> 4x3, 7 -> 3x3 (not 1x7).
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if k > mesh.n_nodes:
+        raise ValueError(f"shape for {k} cannot fit mesh {mesh.shape}")
+    best: tuple[int, int, int, tuple[int, int]] | None = None
+    for a in range(1, mesh.width + 1):
+        b = -(-k // a)  # ceil(k / a)
+        if b > mesh.height:
+            continue
+        cand = (2 * (a + b), a * b, a, (a, b))
+        if best is None or cand < best:
+            best = cand
+    if best is None:
+        raise ValueError(f"no {k}-processor rectangle fits mesh {mesh.shape}")
+    return best[3]
+
+
+def shell_map(mesh: Mesh2D, anchor_x: int, anchor_y: int, shape: tuple[int, int]) -> np.ndarray:
+    """Shell number of every node for a submesh anchored at (anchor_x, anchor_y).
+
+    Shell 0 is the ``a x b`` submesh whose lower-left corner sits at the
+    anchor; shell i is the rectangular ring at Chebyshev distance i from it
+    (Fig 4).  Returns an ``(n_nodes,)`` int array.
+    """
+    a, b = shape
+    xs = mesh.xs()
+    ys = mesh.ys()
+    dx = np.maximum(np.maximum(anchor_x - xs, 0), xs - (anchor_x + a - 1))
+    dy = np.maximum(np.maximum(anchor_y - ys, 0), ys - (anchor_y + b - 1))
+    return np.maximum(dx, dy)
+
+
+class MCAllocator(Allocator):
+    """MC (shaped shells) or MC1x1 (point shells) allocator.
+
+    Parameters
+    ----------
+    shaped:
+        True for MC (infer/accept a submesh shape); False for MC1x1.
+    """
+
+    def __init__(self, shaped: bool = True):
+        self.shaped = shaped
+        self.name = "mc" if shaped else "mc1x1"
+
+    def allocate(self, request: Request, machine: Machine) -> Allocation | None:
+        if not self._feasible(request, machine):
+            return None
+        mesh = machine.mesh
+        k = request.size
+        free = machine.free_nodes()
+        fx = mesh.xs(free)
+        fy = mesh.ys(free)
+
+        if self.shaped:
+            shape = request.shape or infer_shape(k, mesh)
+        else:
+            shape = (1, 1)
+        a, b = shape
+        if a > mesh.width or b > mesh.height:
+            raise ValueError(f"shape {shape} does not fit mesh {mesh.shape}")
+
+        # "Each free processor evaluates the quality of an allocation
+        # centered on itself": one candidate submesh per free processor,
+        # clamped so the a x b rectangle stays inside the mesh.  Free
+        # processors are in ascending node id, so cost ties resolve to the
+        # lowest row-major centre.
+        anchor_x = np.clip(fx - (a - 1) // 2, 0, mesh.width - a)
+        anchor_y = np.clip(fy - (b - 1) // 2, 0, mesh.height - b)
+
+        # Shell number of every free node w.r.t. every anchor:
+        #   shell = max(axis distance outside the submesh interval).
+        dx = np.maximum(
+            np.maximum(anchor_x[:, None] - fx[None, :], 0),
+            fx[None, :] - (anchor_x[:, None] + a - 1),
+        )
+        dy = np.maximum(
+            np.maximum(anchor_y[:, None] - fy[None, :], 0),
+            fy[None, :] - (anchor_y[:, None] + b - 1),
+        )
+        shells = np.maximum(dx, dy)
+
+        # Cost = sum of the k smallest shell numbers (innermost-first greedy).
+        part = np.partition(shells, k - 1, axis=1)[:, :k]
+        costs = part.sum(axis=1)
+        best_anchor = int(np.argmin(costs))  # first min = lowest anchor
+
+        # Select the k free nodes for that anchor: by (shell, row-major id).
+        anchor_shells = shells[best_anchor]
+        order = np.lexsort((free, anchor_shells))
+        nodes = free[order[:k]]
+        return Allocation(job_id=request.job_id, nodes=nodes)
+
+    @staticmethod
+    def anchor_costs(
+        machine: Machine, k: int, shape: tuple[int, int]
+    ) -> dict[tuple[int, int], int]:
+        """Cost of every anchor position (introspection/visualisation aid)."""
+        mesh = machine.mesh
+        a, b = shape
+        free = machine.free_nodes()
+        if len(free) < k:
+            raise ValueError("not enough free processors")
+        out: dict[tuple[int, int], int] = {}
+        for x in range(mesh.width - a + 1):
+            for y in range(mesh.height - b + 1):
+                sm = shell_map(mesh, x, y, shape)[free]
+                out[(x, y)] = int(np.partition(sm, k - 1)[:k].sum())
+        return out

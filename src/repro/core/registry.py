@@ -1,0 +1,114 @@
+"""By-name construction of allocators.
+
+Names follow the paper's labels:
+
+* curve strategies: ``"s-curve"``, ``"hilbert"``, ``"h-indexing"``,
+  ``"row-major"`` -- plain name means the sorted-free-list Paging policy;
+  suffix ``+ff`` / ``+bf`` / ``+ss`` selects First Fit / Best Fit /
+  Sum-of-Squares bin selection (e.g. ``"hilbert+bf"``),
+* ``"mc"`` and ``"mc1x1"`` -- the shell allocators,
+* ``"gen-alg"`` -- Krumke et al.'s algorithm,
+* ``"contiguous"`` -- the first-fit-submesh convex baseline (Section 2's
+  motivation),
+* ``"hybrid"`` -- the pattern-dispatching strategy of Section 5's
+  discussion.
+
+:func:`paper_allocators` returns the nine strategies plotted in Figs 7/8,
+and :func:`fig11_allocators` the twelve rows of the Fig 11 table.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import Allocator
+from repro.core.contiguous import FirstFitSubmesh
+from repro.core.genalg import GenAlgAllocator
+from repro.core.hybrid import HybridAllocator
+from repro.core.mc import MCAllocator
+from repro.core.paging import PagingAllocator
+
+__all__ = [
+    "make_allocator",
+    "allocator_names",
+    "paper_allocators",
+    "fig11_allocators",
+]
+
+_CURVES = ("s-curve", "hilbert", "h-indexing", "row-major")
+_SUFFIX_POLICY = {"ff": "first-fit", "bf": "best-fit", "ss": "sum-of-squares"}
+
+
+def make_allocator(name: str, **kwargs) -> Allocator:
+    """Build an allocator from its registry name (see module docstring).
+
+    Extra keyword arguments pass through to the underlying class, e.g.
+    ``make_allocator("s-curve+bf", runs="long")`` for the long-direction
+    S-curve ablation or ``make_allocator("hilbert+ff", page_size=1)``.
+    """
+    lowered = name.strip().lower()
+    if lowered == "mc":
+        return MCAllocator(shaped=True, **kwargs)
+    if lowered == "mc1x1":
+        return MCAllocator(shaped=False, **kwargs)
+    if lowered in ("gen-alg", "genalg"):
+        return GenAlgAllocator(**kwargs)
+    if lowered in ("contiguous", "first-fit-submesh"):
+        return FirstFitSubmesh(**kwargs)
+    if lowered == "hybrid":
+        return HybridAllocator(**kwargs)
+    curve, _, suffix = lowered.partition("+")
+    if curve in _CURVES:
+        if suffix == "":
+            policy = "freelist"
+        else:
+            policy = _SUFFIX_POLICY.get(suffix, suffix)
+        return PagingAllocator(curve_name=curve, policy=policy, **kwargs)
+    raise KeyError(f"unknown allocator {name!r}; known: {allocator_names()}")
+
+
+def allocator_names() -> list[str]:
+    """All canonical allocator names."""
+    names = ["mc", "mc1x1", "gen-alg", "contiguous", "hybrid"]
+    for curve in _CURVES:
+        names.append(curve)
+        names.extend(f"{curve}+{sfx}" for sfx in _SUFFIX_POLICY)
+    return names
+
+
+def paper_allocators() -> list[Allocator]:
+    """The nine strategies of Figs 7 and 8.
+
+    MC, MC1x1, Gen-Alg, and {S-curve, Hilbert, H-indexing} with sorted
+    free list and with Best Fit.  (First Fit results are described in the
+    text but omitted from the paper's graphs.)
+    """
+    names = [
+        "mc",
+        "mc1x1",
+        "gen-alg",
+        "s-curve",
+        "s-curve+bf",
+        "hilbert",
+        "hilbert+bf",
+        "h-indexing",
+        "h-indexing+bf",
+    ]
+    return [make_allocator(n) for n in names]
+
+
+def fig11_allocators() -> list[Allocator]:
+    """The twelve strategies of the Fig 11 contiguity table."""
+    names = [
+        "s-curve+bf",
+        "hilbert+bf",
+        "hilbert+ff",
+        "h-indexing+bf",
+        "s-curve+ff",
+        "h-indexing+ff",
+        "mc",
+        "mc1x1",
+        "s-curve",
+        "h-indexing",
+        "gen-alg",
+        "hilbert",
+    ]
+    return [make_allocator(n) for n in names]

@@ -1,0 +1,16 @@
+"""Experiment drivers regenerating every figure and table of the paper.
+
+Each ``figNN_*`` module exposes ``run(scale, seed) -> result`` plus a
+``report(result) -> str`` that prints the same rows/series the paper shows.
+``python -m repro.experiments <fig> --scale {small,medium,full}`` runs any
+of them standalone; the benchmark harness under ``benchmarks/`` calls the
+same drivers at the ``small`` scale.
+
+Scales (see :mod:`repro.experiments.config`): ``small`` is laptop-seconds,
+``medium`` gives stable orderings in minutes, ``full`` is the paper's
+6087-job trace.
+"""
+
+from repro.experiments.config import FULL, MEDIUM, SMALL, Scale, get_scale
+
+__all__ = ["Scale", "SMALL", "MEDIUM", "FULL", "get_scale"]

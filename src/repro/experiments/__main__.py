@@ -1,0 +1,178 @@
+"""Command-line runner for the experiment drivers.
+
+Examples::
+
+    python -m repro.experiments list
+    python -m repro.experiments fig6
+    python -m repro.experiments fig8 --scale medium --seed 3
+    python -m repro.experiments all --scale small
+    python -m repro.experiments fig7 --trace /path/to/SDSC-Par-1996.swf
+
+``--trace`` feeds a real Standard Workload Format file (e.g. the actual
+SDSC Paragon trace) to the sweep experiments in place of the synthetic
+workload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import config
+from repro.experiments import (
+    contiguous_baseline,
+    fig01_testsuite,
+    fig02_curves,
+    fig04_shells,
+    fig05_nbody,
+    fig06_truncation,
+    fig07_sweep16x22,
+    fig08_sweep16x16,
+    fig11_contiguity,
+    hybrid_workload,
+    metric_correlation,
+)
+
+__all__ = ["main", "EXPERIMENTS"]
+
+
+def _fig7(scale, seed, trace):
+    from repro.experiments.sweep import run_sweep
+
+    if trace is None:
+        return fig07_sweep16x22.run(scale, seed)
+    return run_sweep(fig07_sweep16x22.MESH, scale, trace=trace)
+
+
+def _fig8(scale, seed, trace):
+    from repro.experiments.sweep import run_sweep
+
+    if trace is None:
+        return fig08_sweep16x16.run(scale, seed)
+    return run_sweep(fig08_sweep16x16.MESH, scale, trace=trace)
+
+
+#: name -> (run(scale, seed, trace), report(result), description)
+EXPERIMENTS = {
+    "fig1": (
+        lambda s, seed, tr: fig01_testsuite.run(s, seed),
+        fig01_testsuite.report,
+        "running time vs pairwise distance (Cplant test suite, flit engine)",
+    ),
+    "fig2": (
+        lambda s, seed, tr: fig02_curves.run(s, seed),
+        fig02_curves.report,
+        "S-curve / Hilbert / H-indexing renderings",
+    ),
+    "fig4": (
+        lambda s, seed, tr: fig04_shells.run(s, seed),
+        fig04_shells.report,
+        "MC shells around a 3x1 request",
+    ),
+    "fig5": (
+        lambda s, seed, tr: fig05_nbody.run(s, seed),
+        fig05_nbody.report,
+        "n-body message subphases for 15 processors",
+    ),
+    "fig6": (
+        lambda s, seed, tr: fig06_truncation.run(s, seed),
+        fig06_truncation.report,
+        "truncated Hilbert / H-indexing on 16x22 with gaps",
+    ),
+    "fig7": (
+        _fig7,
+        fig07_sweep16x22.report,
+        "response time vs load, 16x22 mesh, 3 patterns x 9 allocators",
+    ),
+    "fig8": (
+        _fig8,
+        fig08_sweep16x16.report,
+        "response time vs load, 16x16 mesh, 3 patterns x 9 allocators",
+    ),
+    "fig9": (
+        lambda s, seed, tr: metric_correlation.run(s, seed),
+        metric_correlation.report_fig9,
+        "running time vs pairwise distance (128-proc n-body jobs)",
+    ),
+    "fig10": (
+        lambda s, seed, tr: metric_correlation.run(s, seed),
+        metric_correlation.report_fig10,
+        "running time vs average message distance (same jobs)",
+    ),
+    "fig11": (
+        lambda s, seed, tr: fig11_contiguity.run(s, seed),
+        fig11_contiguity.report,
+        "percent contiguous & average components table",
+    ),
+    # Extensions beyond the paper's evaluation (DESIGN.md section 4).
+    "hybrid": (
+        lambda s, seed, tr: hybrid_workload.run(s, seed),
+        hybrid_workload.report,
+        "EXTENSION: pattern-dispatching hybrid on a mixed workload",
+    ),
+    "contiguous": (
+        lambda s, seed, tr: contiguous_baseline.run(s, seed),
+        contiguous_baseline.report,
+        "EXTENSION: convex-allocation baseline vs noncontiguous",
+    ),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the figures/tables of Leung, Bunde & Mache "
+        "(SAND2003-4522).",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (fig1..fig11), 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--scale",
+        default="small",
+        choices=["small", "medium", "full"],
+        help="workload scale (default: small)",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="override base seed")
+    parser.add_argument(
+        "--trace",
+        default=None,
+        help="SWF trace file to use instead of the synthetic workload "
+        "(fig7/fig8 only)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name, (_, _, desc) in EXPERIMENTS.items():
+            print(f"{name:6s} {desc}")
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}; try 'list'", file=sys.stderr)
+        return 2
+
+    scale = config.get_scale(args.scale)
+    trace = None
+    if args.trace is not None:
+        from repro.trace.swf import read_swf
+
+        trace = read_swf(args.trace)
+
+    for name in names:
+        run_fn, report_fn, _ = EXPERIMENTS[name]
+        start = time.perf_counter()
+        result = run_fn(scale, args.seed, trace)
+        elapsed = time.perf_counter() - start
+        print(f"=== {name} (scale={scale.name}, {elapsed:.1f}s) " + "=" * 30)
+        print(report_fn(result))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

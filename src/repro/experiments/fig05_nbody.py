@@ -1,0 +1,61 @@
+"""Fig 5: messages sent during an n-body calculation with 15 processors.
+
+"(a) Messages during ring subphase. (b) Messages during chordal subphase."
+This driver materialises the message schedule for p = 15 and checks the
+paper's counts: floor(p/2) = 7 ring subphases of 15 messages each followed
+by one chordal subphase where every processor messages the processor
+halfway across the ring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.config import SMALL, Scale
+from repro.patterns.nbody import NBody
+
+__all__ = ["run", "report", "Fig5Result", "JOB_SIZE"]
+
+JOB_SIZE = 15  # the paper's illustration size
+
+
+@dataclass
+class Fig5Result:
+    """The n-body message schedule for the illustrated job size."""
+
+    p: int
+    n_ring_subphases: int
+    ring_round: np.ndarray
+    chordal_round: np.ndarray
+    messages_per_cycle: int
+
+
+def run(scale: Scale = SMALL, seed: int | None = None) -> Fig5Result:
+    """Materialise the p=15 n-body schedule."""
+    pattern = NBody()
+    rounds = pattern.rounds(JOB_SIZE)
+    return Fig5Result(
+        p=JOB_SIZE,
+        n_ring_subphases=NBody.n_ring_subphases(JOB_SIZE),
+        ring_round=rounds[0],
+        chordal_round=rounds[-1],
+        messages_per_cycle=pattern.messages_per_cycle(JOB_SIZE),
+    )
+
+
+def report(result: Fig5Result) -> str:
+    """The subphase structure and both message sets."""
+    ring = ", ".join(f"{s}->{d}" for s, d in result.ring_round.tolist())
+    chord = ", ".join(f"{s}->{d}" for s, d in result.chordal_round.tolist())
+    return "\n".join(
+        [
+            f"Fig 5 -- n-body pattern with {result.p} processors",
+            f"ring subphases: {result.n_ring_subphases} "
+            f"(each {len(result.ring_round)} messages)",
+            f"(a) ring subphase messages:    {ring}",
+            f"(b) chordal subphase messages: {chord}",
+            f"messages per full cycle: {result.messages_per_cycle}",
+        ]
+    )

@@ -1,0 +1,32 @@
+"""Fig 7: response time vs. load on the 16x22 mesh.
+
+"Figure 7 shows the results for trace on 16x22 mesh for various
+communication patterns. (a) All-to-all (b) N-body (c) Random."
+
+The 16x22 mesh matches the SDSC Paragon partition that generated the
+trace; the Hilbert and H-indexing orderings are truncated 32x32 curves with
+gaps along the top (Fig 6), which is why panel orderings differ from the
+square-mesh results of Fig 8.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import SMALL, Scale
+from repro.experiments.sweep import SweepResult, report_sweep, run_sweep
+from repro.mesh.topology import Mesh2D
+
+__all__ = ["run", "report", "MESH"]
+
+MESH = Mesh2D(16, 22)
+
+
+def run(scale: Scale = SMALL, seed: int | None = None) -> list[SweepResult]:
+    """All three panels of Fig 7 (one SweepResult per pattern)."""
+    if seed is not None:
+        scale = scale.with_seed(seed)
+    return run_sweep(MESH, scale)
+
+
+def report(results: list[SweepResult]) -> str:
+    """The panel tables (mean response time per allocator and load)."""
+    return report_sweep(results)

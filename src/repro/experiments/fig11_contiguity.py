@@ -1,0 +1,101 @@
+"""Fig 11: percent of jobs allocated contiguously & average components.
+
+"Figure 11 shows the percentage of jobs allocated contiguously and the
+average number of components into which jobs were allocated ... for
+all-to-all communication on a 16x16 mesh with load 1.0."
+
+Twelve strategies: the three curves with Best Fit, First Fit, and the
+sorted free list, plus MC, MC1x1, and Gen-Alg.  The paper's headline:
+"the curve-based strategies allocate into fewer components than the
+others" -- yet neither contiguity metric explains the response-time
+orderings, which is Section 4.3's point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.tables import format_table
+from repro.core.registry import make_allocator
+from repro.experiments.config import SMALL, Scale
+from repro.mesh.topology import Mesh2D
+from repro.patterns.base import get_pattern
+from repro.sched.simulator import Simulation
+from repro.sched.stats import RunSummary, summarize
+from repro.trace.synthetic import drop_oversized, sdsc_paragon_trace
+
+__all__ = ["run", "report", "Fig11Result", "FIG11_ALLOCATORS"]
+
+#: The twelve rows of the paper's table (its own ordering is by result).
+FIG11_ALLOCATORS = (
+    "s-curve+bf",
+    "hilbert+bf",
+    "hilbert+ff",
+    "h-indexing+bf",
+    "s-curve+ff",
+    "h-indexing+ff",
+    "mc",
+    "mc1x1",
+    "s-curve",
+    "h-indexing",
+    "gen-alg",
+    "hilbert",
+)
+
+
+@dataclass
+class Fig11Result:
+    """One RunSummary per allocator (16x16, all-to-all, load 1.0)."""
+
+    cells: list[RunSummary]
+
+    def rows(self) -> list[dict]:
+        """Table rows sorted by percent contiguous, descending (as printed
+        in the paper)."""
+        rows = [
+            {
+                "Algorithm": c.allocator,
+                "% contiguous": 100.0 * c.fraction_contiguous,
+                "Ave. components": c.mean_components,
+            }
+            for c in self.cells
+        ]
+        rows.sort(key=lambda r: -r["% contiguous"])
+        return rows
+
+
+def run(scale: Scale = SMALL, seed: int | None = None) -> Fig11Result:
+    """Run the twelve allocators on the Fig 8 all-to-all load-1.0 cell."""
+    if seed is not None:
+        scale = scale.with_seed(seed)
+    mesh = Mesh2D(16, 16)
+    jobs = drop_oversized(
+        sdsc_paragon_trace(
+            seed=scale.seed, n_jobs=scale.n_jobs, runtime_scale=scale.runtime_scale
+        ),
+        mesh.n_nodes,
+    )
+    params = scale.network_params()
+    cells = []
+    for name in FIG11_ALLOCATORS:
+        sim = Simulation(
+            mesh,
+            make_allocator(name),
+            get_pattern("all-to-all"),
+            jobs,
+            params=params,
+            seed=scale.seed,
+            load_factor=1.0,
+        )
+        cells.append(summarize(sim.run()))
+    return Fig11Result(cells=cells)
+
+
+def report(result: Fig11Result) -> str:
+    """The Fig 11 table."""
+    return format_table(
+        result.rows(),
+        columns=["Algorithm", "% contiguous", "Ave. components"],
+        float_fmt=".2f",
+        title="Fig 11 -- contiguity, all-to-all on 16x16 at load 1.0",
+    )

@@ -1,0 +1,108 @@
+"""Extension: the paper's "harness the strengths" hybrid strategy.
+
+Section 5 closes: "Obviously, the ideal is to find a general purpose
+allocation algorithm that works reasonably well for all types of problems,
+but a strategy to harness the strengths of different algorithms would also
+be useful."
+
+This experiment evaluates that proposal on a *mixed* workload -- each trace
+job communicates with either the all-to-all or the n-body pattern (seeded
+50/50 split) -- comparing the pattern-dispatching
+:class:`~repro.core.hybrid.HybridAllocator` against the fixed strategies.
+This goes beyond the paper (its experiments give every job the same
+pattern), so it is labelled an extension in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.core.registry import make_allocator
+from repro.experiments.config import SMALL, Scale
+from repro.mesh.topology import Mesh2D
+from repro.patterns.base import get_pattern
+from repro.sched.simulator import Simulation
+from repro.sched.stats import RunSummary, summarize
+from repro.trace.synthetic import drop_oversized, sdsc_paragon_trace
+
+__all__ = ["run", "report", "HybridResult", "COMPETITORS"]
+
+COMPETITORS = ("hybrid", "mc", "hilbert+bf", "gen-alg", "s-curve", "mc1x1")
+
+
+@dataclass
+class HybridResult:
+    """Mixed-workload comparison cells, one per allocator."""
+
+    cells: list[RunSummary]
+    pattern_split: dict[str, int]
+
+
+def _pattern_selector(seed: int):
+    """Deterministic 50/50 all-to-all / n-body assignment by job id."""
+    a2a = get_pattern("all-to-all")
+    nbody = get_pattern("n-body")
+
+    def select(job):
+        pick = np.random.default_rng(
+            np.random.SeedSequence([seed, 0xAB, job.job_id])
+        ).random()
+        return a2a if pick < 0.5 else nbody
+
+    return select
+
+
+def run(scale: Scale = SMALL, seed: int | None = None) -> HybridResult:
+    """Run the mixed workload under every competitor."""
+    if seed is not None:
+        scale = scale.with_seed(seed)
+    mesh = Mesh2D(16, 16)
+    jobs = drop_oversized(
+        sdsc_paragon_trace(
+            seed=scale.seed, n_jobs=scale.n_jobs, runtime_scale=scale.runtime_scale
+        ),
+        mesh.n_nodes,
+    )
+    selector = _pattern_selector(scale.seed)
+    split: dict[str, int] = {}
+    for job in jobs:
+        split[selector(job).name] = split.get(selector(job).name, 0) + 1
+
+    cells = []
+    for name in COMPETITORS:
+        sim = Simulation(
+            mesh,
+            make_allocator(name),
+            selector,
+            jobs,
+            params=scale.network_params(),
+            seed=scale.seed,
+            pattern_label="mixed(a2a+nbody)",
+        )
+        summary = summarize(sim.run())
+        # keep the allocator's registry name for the table
+        cells.append(summary)
+    return HybridResult(cells=cells, pattern_split=split)
+
+
+def report(result: HybridResult) -> str:
+    """Comparison table, best mean response first."""
+    rows = [
+        {
+            "allocator": c.allocator,
+            "mean_response": c.mean_response,
+            "mean_stretch": c.mean_stretch,
+            "pct_contiguous": 100 * c.fraction_contiguous,
+        }
+        for c in result.cells
+    ]
+    rows.sort(key=lambda r: r["mean_response"])
+    split = ", ".join(f"{k}: {v}" for k, v in sorted(result.pattern_split.items()))
+    return format_table(
+        rows,
+        title=f"Hybrid allocation on a mixed workload ({split})",
+        float_fmt=".2f",
+    )

@@ -1,0 +1,123 @@
+"""Shared machinery for the response-time sweeps (Figs 7 and 8).
+
+A sweep runs every (allocator, load factor) cell for one mesh and one
+communication pattern on the same trace, exactly as the paper's graphs are
+organised: the x-axis is the load factor ("decreasing"), the y-axis the
+mean job response time, one series per allocation strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.registry import make_allocator
+from repro.experiments.config import Scale
+from repro.mesh.topology import Mesh2D
+from repro.patterns.base import get_pattern
+from repro.sched.simulator import Simulation
+from repro.sched.stats import RunSummary, summarize
+from repro.trace.synthetic import apply_load_factor, drop_oversized, sdsc_paragon_trace
+from repro.sched.job import Job
+
+__all__ = ["SweepResult", "run_sweep", "report_sweep", "PAPER_ALLOCATORS", "PAPER_PATTERNS"]
+
+#: The nine strategies of Figs 7/8, in the paper's legend order.
+PAPER_ALLOCATORS = (
+    "mc",
+    "mc1x1",
+    "gen-alg",
+    "s-curve",
+    "s-curve+bf",
+    "hilbert",
+    "hilbert+bf",
+    "h-indexing",
+    "h-indexing+bf",
+)
+
+#: The three patterns of Figs 7/8, in panel order (a), (b), (c).
+PAPER_PATTERNS = ("all-to-all", "n-body", "random")
+
+
+@dataclass
+class SweepResult:
+    """All cells of one figure panel (one mesh, one pattern)."""
+
+    mesh_shape: tuple[int, int]
+    pattern: str
+    cells: list[RunSummary] = field(default_factory=list)
+
+    def series(self, metric: str = "mean_response") -> dict[str, list[tuple[float, float]]]:
+        """Per-allocator (load, metric) series, loads descending as plotted."""
+        out: dict[str, list[tuple[float, float]]] = {}
+        for cell in self.cells:
+            out.setdefault(cell.allocator, []).append(
+                (cell.load_factor, getattr(cell, metric))
+            )
+        for values in out.values():
+            values.sort(key=lambda lv: -lv[0])
+        return out
+
+    def ranking(self, load: float, metric: str = "mean_response") -> list[str]:
+        """Allocators best-to-worst at one load factor."""
+        cells = [c for c in self.cells if c.load_factor == load]
+        return [c.allocator for c in sorted(cells, key=lambda c: getattr(c, metric))]
+
+
+def run_sweep(
+    mesh: Mesh2D,
+    scale: Scale,
+    patterns: tuple[str, ...] = PAPER_PATTERNS,
+    allocators: tuple[str, ...] = PAPER_ALLOCATORS,
+    trace: list[Job] | None = None,
+) -> list[SweepResult]:
+    """Run the full panel grid for one mesh; one SweepResult per pattern."""
+    base = trace if trace is not None else sdsc_paragon_trace(
+        seed=scale.seed, n_jobs=scale.n_jobs, runtime_scale=scale.runtime_scale
+    )
+    base = drop_oversized(base, mesh.n_nodes)
+    params = scale.network_params()
+    results = []
+    for pattern_name in patterns:
+        result = SweepResult(mesh_shape=mesh.shape, pattern=pattern_name)
+        for load in scale.loads:
+            jobs = apply_load_factor(base, load)
+            for alloc_name in allocators:
+                sim = Simulation(
+                    mesh,
+                    make_allocator(alloc_name),
+                    get_pattern(pattern_name),
+                    jobs,
+                    params=params,
+                    seed=scale.seed,
+                    load_factor=load,
+                )
+                result.cells.append(summarize(sim.run()))
+        results.append(result)
+    return results
+
+
+def report_sweep(results: list[SweepResult], metric: str = "mean_response") -> str:
+    """Text report: one table per pattern, allocators x loads."""
+    from repro.analysis.tables import format_table
+
+    blocks = []
+    for result in results:
+        series = result.series(metric)
+        loads = sorted({c.load_factor for c in result.cells}, reverse=True)
+        rows = []
+        for name in series:
+            row = {"allocator": name}
+            for load, value in series[name]:
+                row[f"load {load:g}"] = value
+            rows.append(row)
+        rows.sort(key=lambda r: r.get(f"load {loads[0]:g}", float("inf")))
+        w, h = result.mesh_shape
+        blocks.append(
+            format_table(
+                rows,
+                columns=["allocator"] + [f"load {load:g}" for load in loads],
+                float_fmt=".1f",
+                title=f"{metric} -- {w}x{h} mesh, {result.pattern} pattern",
+            )
+        )
+    return "\n\n".join(blocks)

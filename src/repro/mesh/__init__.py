@@ -1,0 +1,19 @@
+"""Mesh machine substrate: topology, routing, and occupancy state.
+
+This package models the space-shared mesh-connected machines of the paper
+(Cplant-like 2-D meshes such as 16x22 and 16x16).  It provides:
+
+* :class:`~repro.mesh.topology.Mesh2D` / :class:`~repro.mesh.topology.Mesh3D`
+  -- node coordinate systems and distance metrics,
+* :mod:`~repro.mesh.routing` -- dimension-ordered (x-y) routing, the
+  deadlock-free routing used by ProcSimity and by the paper's contiguity
+  discussion ("messages use x-y routing rather than arbitrary paths"),
+* :class:`~repro.mesh.machine.Machine` -- the processor-occupancy state
+  shared by the scheduler and the allocators.
+"""
+
+from repro.mesh.machine import Machine
+from repro.mesh.routing import route_links, route_path
+from repro.mesh.topology import Mesh2D, Mesh3D
+
+__all__ = ["Mesh2D", "Mesh3D", "Machine", "route_path", "route_links"]

@@ -1,0 +1,73 @@
+"""Dimension-ordered (x-y) routing on 2-D meshes.
+
+Messages travel all the way along the X dimension first, then along Y --
+the deadlock-free routing used by ProcSimity and assumed by the paper
+("messages use x-y routing rather than arbitrary paths", Section 4.3).
+
+Two views of a route are provided:
+
+* :func:`route_path` -- the sequence of node ids visited (inclusive),
+* :func:`route_links` -- the sequence of *directed link* ids traversed, in
+  the dense link numbering of :class:`repro.network.links.LinkSpace`.
+
+For torus meshes the X/Y legs each take the shorter way around (ties go in
+the positive direction), which remains deadlock-free with the virtual-channel
+assumption customary for torus wormhole routing; the paper's machines are
+plain meshes so the experiments never exercise wraparound.
+"""
+
+from __future__ import annotations
+
+from repro.mesh.topology import Mesh2D
+
+__all__ = ["route_path", "route_links", "route_hop_count"]
+
+
+def _axis_steps(src: int, dst: int, extent: int, torus: bool) -> list[int]:
+    """Intermediate coordinates stepping from src to dst along one axis."""
+    if src == dst:
+        return []
+    if not torus:
+        step = 1 if dst > src else -1
+        return list(range(src + step, dst + step, step))
+    forward = (dst - src) % extent
+    backward = (src - dst) % extent
+    step = 1 if forward <= backward else -1
+    out = []
+    cur = src
+    while cur != dst:
+        cur = (cur + step) % extent
+        out.append(cur)
+    return out
+
+
+def route_path(mesh: Mesh2D, src: int, dst: int) -> list[int]:
+    """Node ids visited by an x-y-routed message from ``src`` to ``dst``.
+
+    The list includes both endpoints; a self-message yields ``[src]``.
+    """
+    sx, sy = mesh.coords(src)
+    dx, dy = mesh.coords(dst)
+    path = [src]
+    for x in _axis_steps(sx, dx, mesh.width, mesh.torus):
+        path.append(mesh.node_id(x, sy))
+    for y in _axis_steps(sy, dy, mesh.height, mesh.torus):
+        path.append(mesh.node_id(dx, y))
+    return path
+
+
+def route_hop_count(mesh: Mesh2D, src: int, dst: int) -> int:
+    """Number of links an x-y message crosses (== Manhattan distance)."""
+    return mesh.manhattan(src, dst)
+
+
+def route_links(mesh: Mesh2D, src: int, dst: int) -> list[int]:
+    """Directed link ids traversed from ``src`` to ``dst`` under x-y routing.
+
+    Link ids follow :class:`repro.network.links.LinkSpace`; importing lazily
+    here avoids a package cycle (network depends on mesh).
+    """
+    from repro.network.links import LinkSpace
+
+    space = LinkSpace.for_mesh(mesh)
+    return space.links_on_route(src, dst)

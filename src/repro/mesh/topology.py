@@ -1,0 +1,254 @@
+"""Mesh topologies: coordinate systems, distances, adjacency.
+
+Node identifiers are dense integers in ``[0, n_nodes)`` laid out row-major:
+``node = y * width + x`` for 2-D meshes (and ``node = (z * height + y) *
+width + x`` for 3-D).  All distance helpers accept either scalar node ids or
+NumPy arrays of ids and broadcast accordingly, so metric computations over
+whole allocations vectorise (see the hpc-parallel guide idiom: push loops
+into NumPy).
+
+The paper's machines are 2-D meshes (16x22 matching the SDSC Paragon
+partition, and 16x16).  ``Mesh3D`` and the ``torus`` flag are extensions kept
+for downstream users (Cplant itself was a 3-D mesh family); the experiment
+drivers only use plain 2-D meshes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Mesh2D", "Mesh3D"]
+
+
+@dataclass(frozen=True)
+class Mesh2D:
+    """A ``width x height`` 2-D mesh of processors.
+
+    Parameters
+    ----------
+    width, height:
+        Mesh dimensions.  The paper writes meshes as ``16 x 22`` meaning 16
+        columns and 22 rows; construct that as ``Mesh2D(16, 22)``.
+    torus:
+        If true, opposite edges are connected (k-ary 2-cube).  Extension; the
+        paper's machines are plain meshes.
+    """
+
+    width: int
+    height: int
+    torus: bool = False
+    # Cached coordinate arrays (index -> x / y), built lazily in __post_init__.
+    _xs: np.ndarray = field(init=False, repr=False, compare=False)
+    _ys: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.width < 1 or self.height < 1:
+            raise ValueError(
+                f"mesh dimensions must be positive, got {self.width}x{self.height}"
+            )
+        ids = np.arange(self.n_nodes)
+        object.__setattr__(self, "_xs", ids % self.width)
+        object.__setattr__(self, "_ys", ids // self.width)
+
+    # ------------------------------------------------------------------
+    # Basic geometry
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        """Total number of processors in the mesh."""
+        return self.width * self.height
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(width, height)`` tuple."""
+        return (self.width, self.height)
+
+    def node_id(self, x: int, y: int) -> int:
+        """Return the node id at coordinates ``(x, y)``."""
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise ValueError(f"({x}, {y}) outside {self.width}x{self.height} mesh")
+        return y * self.width + x
+
+    def coords(self, node):
+        """Return ``(x, y)`` for a node id (scalar or array)."""
+        node = np.asarray(node)
+        if np.any(node < 0) or np.any(node >= self.n_nodes):
+            raise ValueError(f"node id out of range for {self.width}x{self.height}")
+        x = node % self.width
+        y = node // self.width
+        if node.ndim == 0:
+            return int(x), int(y)
+        return x, y
+
+    def xs(self, nodes=None) -> np.ndarray:
+        """X coordinates of ``nodes`` (all nodes if None)."""
+        return self._xs if nodes is None else self._xs[np.asarray(nodes)]
+
+    def ys(self, nodes=None) -> np.ndarray:
+        """Y coordinates of ``nodes`` (all nodes if None)."""
+        return self._ys if nodes is None else self._ys[np.asarray(nodes)]
+
+    def contains(self, x: int, y: int) -> bool:
+        """True if ``(x, y)`` lies inside the mesh."""
+        return 0 <= x < self.width and 0 <= y < self.height
+
+    # ------------------------------------------------------------------
+    # Distances
+    # ------------------------------------------------------------------
+    def _axis_delta(self, a: np.ndarray, b: np.ndarray, extent: int) -> np.ndarray:
+        d = np.abs(a - b)
+        if self.torus:
+            d = np.minimum(d, extent - d)
+        return d
+
+    def manhattan(self, a, b):
+        """Manhattan (hop) distance between node ids ``a`` and ``b``.
+
+        This is the number of network hops an x-y-routed message travels,
+        the distance used throughout the paper (e.g. "average number of
+        communication hops between the processors of a job").
+        """
+        a = np.asarray(a)
+        b = np.asarray(b)
+        dx = self._axis_delta(self._xs[a], self._xs[b], self.width)
+        dy = self._axis_delta(self._ys[a], self._ys[b], self.height)
+        out = dx + dy
+        return int(out) if out.ndim == 0 else out
+
+    def chebyshev(self, a, b):
+        """Chebyshev (L-infinity) distance; MC's shells are Chebyshev rings."""
+        a = np.asarray(a)
+        b = np.asarray(b)
+        dx = self._axis_delta(self._xs[a], self._xs[b], self.width)
+        dy = self._axis_delta(self._ys[a], self._ys[b], self.height)
+        out = np.maximum(dx, dy)
+        return int(out) if out.ndim == 0 else out
+
+    def pairwise_manhattan(self, nodes) -> np.ndarray:
+        """Dense ``(k, k)`` matrix of Manhattan distances between ``nodes``."""
+        nodes = np.asarray(nodes)
+        xs = self._xs[nodes]
+        ys = self._ys[nodes]
+        dx = self._axis_delta(xs[:, None], xs[None, :], self.width)
+        dy = self._axis_delta(ys[:, None], ys[None, :], self.height)
+        return dx + dy
+
+    # ------------------------------------------------------------------
+    # Adjacency
+    # ------------------------------------------------------------------
+    def neighbors(self, node: int) -> list[int]:
+        """4-neighbourhood of ``node`` (with wraparound when ``torus``)."""
+        x, y = self.coords(node)
+        out: list[int] = []
+        for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+            nx, ny = x + dx, y + dy
+            if self.torus:
+                nx %= self.width
+                ny %= self.height
+                if (nx, ny) != (x, y):  # degenerate 1-wide axes
+                    out.append(self.node_id(nx, ny))
+            elif self.contains(nx, ny):
+                out.append(self.node_id(nx, ny))
+        return out
+
+    def are_adjacent(self, a: int, b: int) -> bool:
+        """True if nodes ``a`` and ``b`` share a mesh link."""
+        return self.manhattan(a, b) == 1
+
+    def all_nodes(self) -> np.ndarray:
+        """Array of every node id."""
+        return np.arange(self.n_nodes)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "torus" if self.torus else "mesh"
+        return f"Mesh2D({self.width}x{self.height} {kind}, {self.n_nodes} nodes)"
+
+
+@dataclass(frozen=True)
+class Mesh3D:
+    """A ``width x height x depth`` 3-D mesh (extension beyond the paper).
+
+    Node ids are dense row-major: ``node = (z * height + y) * width + x``.
+    Only the metric/adjacency API is provided; the network engines and
+    allocators in this reproduction operate on 2-D meshes as in the paper.
+    """
+
+    width: int
+    height: int
+    depth: int
+    torus: bool = False
+
+    def __post_init__(self) -> None:
+        if min(self.width, self.height, self.depth) < 1:
+            raise ValueError("mesh dimensions must be positive")
+
+    @property
+    def n_nodes(self) -> int:
+        """Total number of processors."""
+        return self.width * self.height * self.depth
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        """``(width, height, depth)`` tuple."""
+        return (self.width, self.height, self.depth)
+
+    def node_id(self, x: int, y: int, z: int) -> int:
+        """Node id at coordinates ``(x, y, z)``."""
+        if not (
+            0 <= x < self.width and 0 <= y < self.height and 0 <= z < self.depth
+        ):
+            raise ValueError(f"({x},{y},{z}) outside {self.shape} mesh")
+        return (z * self.height + y) * self.width + x
+
+    def coords(self, node):
+        """Return ``(x, y, z)`` for a node id (scalar or array)."""
+        node = np.asarray(node)
+        if np.any(node < 0) or np.any(node >= self.n_nodes):
+            raise ValueError("node id out of range")
+        x = node % self.width
+        y = (node // self.width) % self.height
+        z = node // (self.width * self.height)
+        if node.ndim == 0:
+            return int(x), int(y), int(z)
+        return x, y, z
+
+    def _axis_delta(self, a, b, extent: int):
+        d = np.abs(np.asarray(a) - np.asarray(b))
+        if self.torus:
+            d = np.minimum(d, extent - d)
+        return d
+
+    def manhattan(self, a, b):
+        """Manhattan distance between node ids."""
+        ax, ay, az = self.coords(np.asarray(a))
+        bx, by, bz = self.coords(np.asarray(b))
+        out = (
+            self._axis_delta(ax, bx, self.width)
+            + self._axis_delta(ay, by, self.height)
+            + self._axis_delta(az, bz, self.depth)
+        )
+        return int(out) if np.ndim(out) == 0 else out
+
+    def neighbors(self, node: int) -> list[int]:
+        """6-neighbourhood of ``node``."""
+        x, y, z = self.coords(node)
+        out: list[int] = []
+        for dx, dy, dz in (
+            (1, 0, 0), (-1, 0, 0), (0, 1, 0), (0, -1, 0), (0, 0, 1), (0, 0, -1)
+        ):
+            nx, ny, nz = x + dx, y + dy, z + dz
+            if self.torus:
+                nx %= self.width
+                ny %= self.height
+                nz %= self.depth
+                if (nx, ny, nz) != (x, y, z):
+                    out.append(self.node_id(nx, ny, nz))
+            elif (
+                0 <= nx < self.width
+                and 0 <= ny < self.height
+                and 0 <= nz < self.depth
+            ):
+                out.append(self.node_id(nx, ny, nz))
+        return out

@@ -1,0 +1,31 @@
+"""Network substrates: link model, traffic building, and two engines.
+
+The paper evaluates allocators with ProcSimity, a flit-level network
+microsimulator.  This package provides two interchangeable engines:
+
+* :mod:`repro.network.flit` -- an event-driven wormhole microsimulator in
+  the ProcSimity spirit (per-link FIFO arbitration, header path acquisition,
+  flit pipelining).  Used for the running-time/distance experiments
+  (Figs 1, 9, 10) and for validating the fluid engine.
+* :mod:`repro.network.fluid` -- a max-min fair link-bandwidth model that
+  scales to full-trace sweeps (Figs 7, 8, 11).  Each active job contributes a
+  per-directed-link load vector (built by :mod:`repro.network.traffic`);
+  progressive filling computes fair per-job message rates.
+
+Both engines route messages x-y over the directed links enumerated by
+:class:`repro.network.links.LinkSpace`.
+"""
+
+from repro.network.flit import FlitNetwork
+from repro.network.fluid import FluidNetwork, NetworkParams
+from repro.network.links import LinkSpace
+from repro.network.traffic import build_load_vector, mean_message_hops
+
+__all__ = [
+    "LinkSpace",
+    "FluidNetwork",
+    "NetworkParams",
+    "FlitNetwork",
+    "build_load_vector",
+    "mean_message_hops",
+]

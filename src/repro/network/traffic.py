@@ -1,0 +1,88 @@
+"""Build per-link traffic loads for a job's (pattern, allocation) pair.
+
+Given a communication pattern cycle (rank-level ``(src, dst)`` pairs) and an
+allocation (node ids in rank order), this module produces the quantities the
+fluid engine and the analysis layer need:
+
+* the *load vector*: expected flit-traversals of each directed link per
+  message sent (averaged over one pattern cycle, x-y routed),
+* the *mean message hops*: average Manhattan distance travelled per message
+  -- the "average message distance" metric of Fig 10.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mesh.topology import Mesh2D
+from repro.network.links import LinkSpace
+
+__all__ = ["pairs_to_nodes", "build_load_vector", "mean_message_hops", "total_message_hops"]
+
+
+def pairs_to_nodes(
+    nodes: np.ndarray, pairs: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Map rank-level pairs to node-id arrays.
+
+    Parameters
+    ----------
+    nodes:
+        Allocation in rank order (``nodes[r]`` is the processor of rank ``r``).
+    pairs:
+        Integer array of shape ``(m, 2)`` with rank-level (src, dst) pairs.
+
+    Returns
+    -------
+    (src_nodes, dst_nodes)
+    """
+    nodes = np.asarray(nodes, dtype=np.int64)
+    pairs = np.asarray(pairs, dtype=np.int64)
+    if pairs.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    if pairs.ndim != 2 or pairs.shape[1] != 2:
+        raise ValueError("pairs must have shape (m, 2)")
+    if np.any(pairs < 0) or np.any(pairs >= len(nodes)):
+        raise ValueError("pair rank out of range for allocation")
+    return nodes[pairs[:, 0]], nodes[pairs[:, 1]]
+
+
+def build_load_vector(
+    mesh: Mesh2D,
+    nodes: np.ndarray,
+    pairs: np.ndarray,
+    message_flits: float = 1.0,
+) -> np.ndarray:
+    """Per-directed-link flit load *per message sent* for one pattern cycle.
+
+    The cycle's messages are x-y routed over the allocation; each traversal
+    of a link contributes ``message_flits`` flits.  The total is divided by
+    the cycle length, so multiplying by a job's message rate (messages/sec)
+    yields the job's flit flow on each link (flits/sec).
+
+    An empty cycle (single-processor job) yields the zero vector.
+    """
+    space = LinkSpace.for_mesh(mesh)
+    src, dst = pairs_to_nodes(nodes, pairs)
+    if src.size == 0:
+        return np.zeros(space.n_links, dtype=np.float64)
+    loads = space.accumulate_route_loads(src, dst, weight=message_flits)
+    loads /= len(src)
+    return loads
+
+
+def mean_message_hops(mesh: Mesh2D, nodes: np.ndarray, pairs: np.ndarray) -> float:
+    """Average Manhattan hops per message of a pattern cycle (Fig 10 metric)."""
+    src, dst = pairs_to_nodes(nodes, pairs)
+    if src.size == 0:
+        return 0.0
+    return float(np.mean(mesh.manhattan(src, dst)))
+
+
+def total_message_hops(mesh: Mesh2D, nodes: np.ndarray, pairs: np.ndarray) -> int:
+    """Total Manhattan hops summed over one pattern cycle."""
+    src, dst = pairs_to_nodes(nodes, pairs)
+    if src.size == 0:
+        return 0
+    return int(np.sum(mesh.manhattan(src, dst)))

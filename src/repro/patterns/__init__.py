@@ -1,0 +1,37 @@
+"""Communication patterns (Section 3.2 of the paper).
+
+A pattern maps a job size ``p`` to rank-level message traffic in two views:
+
+* :meth:`~repro.patterns.base.Pattern.cycle` -- one full cycle of
+  ``(src_rank, dst_rank)`` pairs, "repeated as necessary to meet the message
+  quotas for each job".  The fluid engine averages link loads over a cycle.
+* :meth:`~repro.patterns.base.Pattern.rounds` -- the same messages grouped
+  into bulk-synchronous rounds for the flit engine.
+
+Patterns evaluated by the paper: :class:`AllToAll`, :class:`NBody` (ring
+subphases plus one chordal subphase), :class:`RandomPairs`.  The additional
+:class:`Ring`, :class:`AllPairsPingPong`, :class:`AllToAllBroadcast` and
+:class:`CplantTestSuite` patterns reproduce the communication test used by
+Leung et al.'s Cplant experiments (Fig 1).
+"""
+
+from repro.patterns.alltoall import AllToAll, AllToAllBroadcast
+from repro.patterns.base import Pattern, get_pattern, register_pattern
+from repro.patterns.composite import CplantTestSuite
+from repro.patterns.nbody import NBody
+from repro.patterns.pingpong import AllPairsPingPong
+from repro.patterns.random_pairs import RandomPairs
+from repro.patterns.ring import Ring
+
+__all__ = [
+    "Pattern",
+    "AllToAll",
+    "AllToAllBroadcast",
+    "NBody",
+    "RandomPairs",
+    "Ring",
+    "AllPairsPingPong",
+    "CplantTestSuite",
+    "get_pattern",
+    "register_pattern",
+]

@@ -1,0 +1,83 @@
+"""All-to-all patterns.
+
+"In the all-to-all pattern, each processor sends a message to all other
+processors running the same job." (Section 3.2.)
+
+:class:`AllToAll` is the trace-experiment pattern; its rounds use the
+classic shifted decomposition (round ``k``: rank ``i`` sends to
+``(i + k) mod p``), which keeps every processor sending exactly one message
+per round -- the contention structure of a well-implemented all-to-all.
+
+:class:`AllToAllBroadcast` is the same pair set but grouped one *broadcast*
+per round (rank ``k`` sends to everyone in round ``k``); it reproduces the
+"all-to-all broadcast" component of the Cplant test suite behind Fig 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.patterns.base import Pattern, register_pattern
+
+__all__ = ["AllToAll", "AllToAllBroadcast"]
+
+
+@register_pattern
+class AllToAll(Pattern):
+    """Every ordered pair communicates once per cycle."""
+
+    name = "all-to-all"
+
+    def cycle(self, p: int, rng: np.random.Generator | None = None) -> np.ndarray:
+        self._check_size(p)
+        if p == 1:
+            return self.empty()
+        # Cycle in round order so a partial cycle is still balanced.
+        rounds = self.rounds(p)
+        return np.concatenate(rounds, axis=0)
+
+    def rounds(
+        self, p: int, rng: np.random.Generator | None = None
+    ) -> list[np.ndarray]:
+        self._check_size(p)
+        if p == 1:
+            return []
+        src = np.arange(p, dtype=np.int64)
+        out = []
+        for k in range(1, p):
+            dst = (src + k) % p
+            out.append(np.stack([src, dst], axis=1))
+        return out
+
+    def messages_per_cycle(self, p: int) -> int:
+        return p * (p - 1) if p > 1 else 0
+
+
+@register_pattern
+class AllToAllBroadcast(Pattern):
+    """All-to-all grouped as one root-broadcast per round (test-suite form)."""
+
+    name = "all-to-all-broadcast"
+
+    def cycle(self, p: int, rng: np.random.Generator | None = None) -> np.ndarray:
+        self._check_size(p)
+        if p == 1:
+            return self.empty()
+        return np.concatenate(self.rounds(p), axis=0)
+
+    def rounds(
+        self, p: int, rng: np.random.Generator | None = None
+    ) -> list[np.ndarray]:
+        self._check_size(p)
+        if p == 1:
+            return []
+        others = np.arange(p, dtype=np.int64)
+        out = []
+        for root in range(p):
+            dst = others[others != root]
+            src = np.full(p - 1, root, dtype=np.int64)
+            out.append(np.stack([src, dst], axis=1))
+        return out
+
+    def messages_per_cycle(self, p: int) -> int:
+        return p * (p - 1) if p > 1 else 0

@@ -1,0 +1,68 @@
+"""The Cplant communication test suite of Leung et al. (Fig 1).
+
+"Each plotted job uses 30 processors and performs a communication test
+consisting of all-to-all broadcast, all-pairs ping-pong (message sent in
+each direction), and ring communication.  Each of these patterns is
+repeated one hundred times."
+
+The suite concatenates the three component patterns' rounds, repeated
+``repetitions`` times; the Fig 1 experiment measures how the suite's
+simulated running time varies with the allocation's average pairwise
+distance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.patterns.alltoall import AllToAllBroadcast
+from repro.patterns.base import Pattern, register_pattern
+from repro.patterns.pingpong import AllPairsPingPong
+from repro.patterns.ring import Ring
+
+__all__ = ["CplantTestSuite"]
+
+
+@register_pattern
+class CplantTestSuite(Pattern):
+    """all-to-all broadcast + all-pairs ping-pong + ring, repeated.
+
+    Parameters
+    ----------
+    repetitions:
+        How many times the three-component suite repeats (paper: 100).
+        Benchmarks scale this down; the shape of Fig 1 is unaffected
+        because running time is linear in repetitions.
+    """
+
+    name = "cplant-test-suite"
+
+    def __init__(self, repetitions: int = 100):
+        if repetitions < 1:
+            raise ValueError("repetitions must be >= 1")
+        self.repetitions = repetitions
+        self._components = [AllToAllBroadcast(), AllPairsPingPong(), Ring()]
+
+    def cycle(self, p: int, rng: np.random.Generator | None = None) -> np.ndarray:
+        self._check_size(p)
+        rounds = self.rounds(p, rng)
+        if not rounds:
+            return self.empty()
+        return np.concatenate(rounds, axis=0)
+
+    def rounds(
+        self, p: int, rng: np.random.Generator | None = None
+    ) -> list[np.ndarray]:
+        self._check_size(p)
+        if p == 1:
+            return []
+        one_pass: list[np.ndarray] = []
+        for component in self._components:
+            one_pass.extend(component.rounds(p, rng))
+        return one_pass * self.repetitions
+
+    def messages_per_cycle(self, p: int) -> int:
+        if p == 1:
+            return 0
+        per_pass = sum(c.messages_per_cycle(p) for c in self._components)
+        return per_pass * self.repetitions

@@ -1,0 +1,54 @@
+"""All-pairs ping-pong: a message in each direction for every pair.
+
+Component of the Cplant test suite behind Fig 1 ("all-pairs ping-pong
+(message sent in each direction)").  Rounds follow the circle method
+(round-robin tournament) so each rank plays at most one partner per round:
+for even ``p`` that is ``p - 1`` rounds, for odd ``p`` it is ``p`` rounds
+with one rank sitting out per round.  Each pairing exchanges two messages
+(the ping and the pong), which we model as both directions in the round.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.patterns.base import Pattern, register_pattern
+
+__all__ = ["AllPairsPingPong"]
+
+
+@register_pattern
+class AllPairsPingPong(Pattern):
+    """Every unordered pair exchanges a ping and a pong each cycle."""
+
+    name = "ping-pong"
+
+    def cycle(self, p: int, rng: np.random.Generator | None = None) -> np.ndarray:
+        self._check_size(p)
+        if p == 1:
+            return self.empty()
+        return np.concatenate(self.rounds(p), axis=0)
+
+    def rounds(
+        self, p: int, rng: np.random.Generator | None = None
+    ) -> list[np.ndarray]:
+        self._check_size(p)
+        if p == 1:
+            return []
+        # Circle method: fix player 0 (even p) / a bye slot (odd p), rotate.
+        n = p if p % 2 == 0 else p + 1
+        ranks = list(range(n))
+        out = []
+        for _ in range(n - 1):
+            pairs = []
+            for i in range(n // 2):
+                a, b = ranks[i], ranks[n - 1 - i]
+                if a < p and b < p:  # skip the bye slot for odd p
+                    pairs.append((a, b))
+                    pairs.append((b, a))
+            out.append(np.asarray(pairs, dtype=np.int64))
+            ranks = [ranks[0]] + [ranks[-1]] + ranks[1:-1]
+        return out
+
+    def messages_per_cycle(self, p: int) -> int:
+        return p * (p - 1) if p > 1 else 0

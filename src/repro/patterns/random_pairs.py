@@ -1,0 +1,64 @@
+"""The random pattern (Section 3.2).
+
+"In the random pattern, each message goes between a random pair of
+processors assigned to the job."
+
+For the flit engine each round draws fresh pairs.  For the fluid engine a
+job's cycle is a finite random sample (``cycle_factor * p`` ordered pairs,
+drawn once per job with the experiment's seeded generator): unlike the
+perfectly balanced all-to-all cycle, a finite sample has persistent hot
+pairs and hot links, which is what distinguishes "random" from "all-to-all"
+contention in the paper's results even though both are uniform over pairs
+in expectation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.patterns.base import Pattern, register_pattern
+
+__all__ = ["RandomPairs"]
+
+
+@register_pattern
+class RandomPairs(Pattern):
+    """Uniformly random ordered pairs of distinct ranks.
+
+    Parameters
+    ----------
+    cycle_factor:
+        Cycle length as a multiple of job size (default 8); trades fidelity
+        of the fluid-engine load average against hotspot persistence.
+    """
+
+    name = "random"
+
+    def __init__(self, cycle_factor: int = 8):
+        if cycle_factor < 1:
+            raise ValueError("cycle_factor must be >= 1")
+        self.cycle_factor = cycle_factor
+
+    def cycle(self, p: int, rng: np.random.Generator | None = None) -> np.ndarray:
+        self._check_size(p)
+        if p == 1:
+            return self.empty()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        m = self.cycle_factor * p
+        src = rng.integers(0, p, size=m, dtype=np.int64)
+        # Draw dst != src by offsetting with a nonzero shift.
+        shift = rng.integers(1, p, size=m, dtype=np.int64)
+        dst = (src + shift) % p
+        return np.stack([src, dst], axis=1)
+
+    def rounds(
+        self, p: int, rng: np.random.Generator | None = None
+    ) -> list[np.ndarray]:
+        """Random cycle split into rounds of ``p`` messages each."""
+        pairs = self.cycle(p, rng)
+        if len(pairs) == 0:
+            return []
+        return [pairs[i : i + p] for i in range(0, len(pairs), p)]
+
+    def messages_per_cycle(self, p: int) -> int:
+        return self.cycle_factor * p if p > 1 else 0

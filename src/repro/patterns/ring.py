@@ -1,0 +1,32 @@
+"""Ring pattern: each rank sends to its successor.
+
+One of the three components of the Cplant communication test suite behind
+Fig 1, and the pattern reported (Section 1) to run *faster* under the
+one-dimensional Cplant allocator than under MC1x1 -- the observation that
+motivated this paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.patterns.base import Pattern, register_pattern
+
+__all__ = ["Ring"]
+
+
+@register_pattern
+class Ring(Pattern):
+    """Every rank messages its ring successor once per cycle."""
+
+    name = "ring"
+
+    def cycle(self, p: int, rng: np.random.Generator | None = None) -> np.ndarray:
+        self._check_size(p)
+        if p == 1:
+            return self.empty()
+        src = np.arange(p, dtype=np.int64)
+        return np.stack([src, (src + 1) % p], axis=1)
+
+    def messages_per_cycle(self, p: int) -> int:
+        return p if p > 1 else 0

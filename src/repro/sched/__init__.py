@@ -1,0 +1,25 @@
+"""Scheduler substrate: FCFS space-sharing simulation (Section 3).
+
+"Since our focus is on allocation rather than scheduling, we scheduled
+using First Come, First Serve (FCFS) in all our simulations."
+
+:class:`~repro.sched.simulator.Simulation` couples the FCFS queue, an
+allocator, a communication pattern, and the fluid network engine into the
+trace-driven simulator behind Figs 7/8/9/10/11.
+"""
+
+from repro.sched.events import EventQueue
+from repro.sched.fcfs import FCFSQueue
+from repro.sched.job import Job, JobResult
+from repro.sched.simulator import Simulation, SimulationResult
+from repro.sched.stats import summarize
+
+__all__ = [
+    "Job",
+    "JobResult",
+    "EventQueue",
+    "FCFSQueue",
+    "Simulation",
+    "SimulationResult",
+    "summarize",
+]

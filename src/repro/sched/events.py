@@ -1,0 +1,42 @@
+"""A deterministic discrete-event queue.
+
+Thin heap wrapper with a monotone tiebreaker so simultaneous events pop in
+schedule order, keeping every simulation bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any
+
+__all__ = ["EventQueue"]
+
+
+class EventQueue:
+    """Min-heap of ``(time, seq, payload)`` events."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Any]] = []
+        self._seq = 0
+
+    def push(self, time: float, payload: Any) -> None:
+        """Schedule ``payload`` at ``time``."""
+        if time < 0:
+            raise ValueError("event time must be >= 0")
+        heapq.heappush(self._heap, (time, self._seq, payload))
+        self._seq += 1
+
+    def pop(self) -> tuple[float, Any]:
+        """Remove and return the earliest ``(time, payload)``."""
+        time, _, payload = heapq.heappop(self._heap)
+        return time, payload
+
+    def peek_time(self) -> float:
+        """Earliest scheduled time (``inf`` when empty)."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,48 @@
+"""Strict First-Come-First-Serve job queue.
+
+The head of the queue blocks all later jobs until it can be allocated --
+there is no backfilling, matching the paper's setup.  (Because all of the
+paper's allocators are noncontiguous, the head fits exactly when enough
+processors are free; page sizes > 0 can additionally block on page
+fragmentation.)
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.sched.job import Job
+
+__all__ = ["FCFSQueue"]
+
+
+class FCFSQueue:
+    """FIFO queue of waiting jobs."""
+
+    def __init__(self) -> None:
+        self._queue: deque[Job] = deque()
+
+    def submit(self, job: Job) -> None:
+        """Append an arriving job."""
+        self._queue.append(job)
+
+    def head(self) -> Job | None:
+        """The blocking job at the front (None when empty)."""
+        return self._queue[0] if self._queue else None
+
+    def pop_head(self) -> Job:
+        """Remove and return the front job."""
+        return self._queue.popleft()
+
+    def remove(self, job: Job) -> None:
+        """Remove a specific job (used by backfilling schedulers)."""
+        self._queue.remove(job)
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)
+
+    def __iter__(self):
+        return iter(self._queue)

@@ -1,0 +1,85 @@
+"""Job records flowing through the simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Job", "JobResult"]
+
+
+@dataclass(frozen=True)
+class Job:
+    """A job submission from the trace.
+
+    Attributes
+    ----------
+    job_id:
+        Dense identifier (trace order).
+    arrival:
+        Submission time in seconds (already contracted by the experiment's
+        load factor).
+    size:
+        Processors requested.
+    runtime:
+        The trace's recorded runtime in seconds.  Following Section 3.2 the
+        simulator does not use this as a duration: the job sends
+        ``quota = round(runtime)`` messages (one per second of trace
+        runtime) and terminates when they have all arrived.
+    """
+
+    job_id: int
+    arrival: float
+    size: int
+    runtime: float
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError(f"job {self.job_id}: size must be >= 1")
+        if self.runtime < 0 or self.arrival < 0:
+            raise ValueError(f"job {self.job_id}: negative time")
+
+    @property
+    def quota(self) -> int:
+        """Messages the job must deliver (>= 1)."""
+        return max(1, round(self.runtime))
+
+
+@dataclass
+class JobResult:
+    """Per-job outcome of a simulation run.
+
+    ``response = completion - arrival`` is the paper's y-axis metric ("the
+    total time it spent in the system").  ``duration`` is the service time
+    (completion - start); ``stretch`` is duration relative to the
+    contention-free minimum (quota seconds at the nominal rate).
+    """
+
+    job_id: int
+    arrival: float
+    start: float
+    completion: float
+    size: int
+    quota: int
+    pairwise_hops: float
+    message_hops: float
+    n_components: int
+
+    @property
+    def response(self) -> float:
+        """Time in system (paper's response-time metric)."""
+        return self.completion - self.arrival
+
+    @property
+    def wait(self) -> float:
+        """Queueing delay before the job started."""
+        return self.start - self.arrival
+
+    @property
+    def duration(self) -> float:
+        """Service (running) time."""
+        return self.completion - self.start
+
+    @property
+    def contiguous(self) -> bool:
+        """True when allocated as a single component."""
+        return self.n_components == 1

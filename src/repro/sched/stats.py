@@ -1,0 +1,88 @@
+"""Aggregation helpers over simulation results."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sched.simulator import SimulationResult
+
+__all__ = ["RunSummary", "summarize"]
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Aggregate view of one simulation run."""
+
+    allocator: str
+    pattern: str
+    mesh_shape: tuple[int, int]
+    load_factor: float
+    n_jobs: int
+    mean_response: float
+    median_response: float
+    mean_wait: float
+    mean_duration: float
+    mean_stretch: float
+    fraction_contiguous: float
+    mean_components: float
+    makespan: float
+
+    def row(self) -> dict:
+        """Flat dict for table printing / serialisation."""
+        return {
+            "allocator": self.allocator,
+            "pattern": self.pattern,
+            "mesh": f"{self.mesh_shape[0]}x{self.mesh_shape[1]}",
+            "load": self.load_factor,
+            "jobs": self.n_jobs,
+            "mean_response": self.mean_response,
+            "median_response": self.median_response,
+            "mean_wait": self.mean_wait,
+            "mean_duration": self.mean_duration,
+            "mean_stretch": self.mean_stretch,
+            "pct_contiguous": 100.0 * self.fraction_contiguous,
+            "mean_components": self.mean_components,
+            "makespan": self.makespan,
+        }
+
+
+def summarize(result: SimulationResult) -> RunSummary:
+    """Collapse a :class:`SimulationResult` into headline numbers."""
+    jobs = result.jobs
+    if not jobs:
+        nan = math.nan
+        return RunSummary(
+            allocator=result.allocator,
+            pattern=result.pattern,
+            mesh_shape=result.mesh_shape,
+            load_factor=result.load_factor,
+            n_jobs=0,
+            mean_response=nan,
+            median_response=nan,
+            mean_wait=nan,
+            mean_duration=nan,
+            mean_stretch=nan,
+            fraction_contiguous=nan,
+            mean_components=nan,
+            makespan=result.makespan,
+        )
+    responses = np.array([j.response for j in jobs])
+    waits = np.array([j.wait for j in jobs])
+    return RunSummary(
+        allocator=result.allocator,
+        pattern=result.pattern,
+        mesh_shape=result.mesh_shape,
+        load_factor=result.load_factor,
+        n_jobs=len(jobs),
+        mean_response=float(responses.mean()),
+        median_response=float(np.median(responses)),
+        mean_wait=float(waits.mean()),
+        mean_duration=result.mean_duration(),
+        mean_stretch=result.mean_stretch(),
+        fraction_contiguous=result.fraction_contiguous(),
+        mean_components=result.mean_components(),
+        makespan=result.makespan,
+    )

@@ -1,0 +1,111 @@
+"""Standard Workload Format (SWF) reader/writer.
+
+SWF is the Feitelson-archive format the real SDSC Paragon trace ships in
+(the paper cites Windisch et al.'s comparison of those traces).  Each
+non-comment line has 18 whitespace-separated fields; this reproduction
+needs fields 2 (submit time), 4 (run time), and 5 (allocated processors),
+falling back to field 8 (requested processors) when 5 is -1.
+
+Supporting the real format means a user with the actual trace file can run
+every experiment driver on it unchanged (``--trace path.swf`` in the CLI).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, TextIO
+
+from repro.sched.job import Job
+
+__all__ = ["read_swf", "write_swf", "SWF_FIELDS"]
+
+#: The 18 SWF fields, in order (index = field number - 1).
+SWF_FIELDS = (
+    "job_number",
+    "submit_time",
+    "wait_time",
+    "run_time",
+    "allocated_processors",
+    "average_cpu_time",
+    "used_memory",
+    "requested_processors",
+    "requested_time",
+    "requested_memory",
+    "status",
+    "user_id",
+    "group_id",
+    "executable",
+    "queue_number",
+    "partition_number",
+    "preceding_job",
+    "think_time",
+)
+
+
+def _parse_line(line: str, lineno: int) -> Job | None:
+    parts = line.split()
+    if len(parts) != len(SWF_FIELDS):
+        raise ValueError(
+            f"SWF line {lineno}: expected {len(SWF_FIELDS)} fields, "
+            f"got {len(parts)}"
+        )
+    submit = float(parts[1])
+    run_time = float(parts[3])
+    procs = int(parts[4])
+    if procs <= 0:
+        procs = int(parts[7])  # fall back to requested processors
+    if procs <= 0 or run_time < 0 or submit < 0:
+        return None  # unusable record (cancelled job etc.)
+    return Job(job_id=-1, arrival=submit, size=procs, runtime=run_time)
+
+
+def read_swf(source: str | Path | TextIO) -> list[Job]:
+    """Parse an SWF file into :class:`Job` records.
+
+    Comment/header lines start with ``;``.  Records with missing processor
+    counts or negative times are skipped (as workload-archive tooling
+    does).  Jobs are re-identified densely in arrival order and arrival
+    times are shifted so the first job arrives at 0.
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as fh:
+            return read_swf(fh)
+    jobs: list[Job] = []
+    for lineno, raw in enumerate(source, start=1):
+        line = raw.strip()
+        if not line or line.startswith(";"):
+            continue
+        job = _parse_line(line, lineno)
+        if job is not None:
+            jobs.append(job)
+    jobs.sort(key=lambda j: j.arrival)
+    if not jobs:
+        return []
+    t0 = jobs[0].arrival
+    return [
+        Job(job_id=i, arrival=j.arrival - t0, size=j.size, runtime=j.runtime)
+        for i, j in enumerate(jobs)
+    ]
+
+
+def write_swf(
+    jobs: Iterable[Job],
+    dest: str | Path | TextIO,
+    header_comments: Iterable[str] = (),
+) -> None:
+    """Write jobs as a minimal SWF file (unknown fields set to -1)."""
+    if isinstance(dest, (str, Path)):
+        with open(dest, "w", encoding="utf-8") as fh:
+            write_swf(jobs, fh, header_comments)
+            return
+    for comment in header_comments:
+        dest.write(f"; {comment}\n")
+    for job in jobs:
+        fields = [-1] * len(SWF_FIELDS)
+        fields[0] = job.job_id
+        fields[1] = int(round(job.arrival))
+        fields[2] = -1
+        fields[3] = int(round(job.runtime))
+        fields[4] = job.size
+        fields[7] = job.size
+        dest.write(" ".join(str(f) for f in fields) + "\n")

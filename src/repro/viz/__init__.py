@@ -1,0 +1,17 @@
+"""ASCII visualisation of curves, shells, and machine occupancy."""
+
+from repro.viz.ascii_art import (
+    render_curve_path,
+    render_curve_ranks,
+    render_occupancy,
+    render_shells,
+    render_truncation,
+)
+
+__all__ = [
+    "render_curve_path",
+    "render_curve_ranks",
+    "render_occupancy",
+    "render_shells",
+    "render_truncation",
+]

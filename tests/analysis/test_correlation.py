@@ -1,0 +1,79 @@
+"""Tests for repro.analysis.correlation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.correlation import linear_fit, pearson_r, spearman_r
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        x = np.arange(10.0)
+        assert pearson_r(x, 3 * x + 1) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        x = np.arange(10.0)
+        assert pearson_r(x, -2 * x) == pytest.approx(-1.0)
+
+    def test_constant_input_is_zero(self):
+        assert pearson_r(np.ones(5), np.arange(5.0)) == 0.0
+
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        x, y = rng.random(50), rng.random(50)
+        assert pearson_r(x, y) == pytest.approx(np.corrcoef(x, y)[0, 1])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pearson_r([1.0], [2.0])
+        with pytest.raises(ValueError):
+            pearson_r([1.0, 2.0], [1.0, 2.0, 3.0])
+
+    @given(
+        seed=st.integers(0, 1000),
+        n=st.integers(3, 60),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_bounded(self, seed, n):
+        rng = np.random.default_rng(seed)
+        r = pearson_r(rng.random(n), rng.random(n))
+        assert -1.0 - 1e-9 <= r <= 1.0 + 1e-9
+
+
+class TestSpearman:
+    def test_monotone_nonlinear_is_one(self):
+        x = np.arange(1.0, 20.0)
+        assert spearman_r(x, np.exp(x / 5)) == pytest.approx(1.0)
+
+    def test_handles_ties(self):
+        x = np.array([1.0, 1.0, 2.0, 3.0])
+        y = np.array([5.0, 5.0, 6.0, 7.0])
+        assert spearman_r(x, y) == pytest.approx(1.0)
+
+    def test_scipy_agreement(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        rng = np.random.default_rng(1)
+        x, y = rng.random(40), rng.random(40)
+        expected = scipy_stats.spearmanr(x, y).statistic
+        assert spearman_r(x, y) == pytest.approx(expected, abs=1e-9)
+
+
+class TestLinearFit:
+    def test_exact_line(self):
+        x = np.arange(10.0)
+        fit = linear_fit(x, 2.5 * x - 4.0)
+        assert fit.slope == pytest.approx(2.5)
+        assert fit.intercept == pytest.approx(-4.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        fit = linear_fit([0.0, 1.0], [1.0, 3.0])
+        assert fit.predict([2.0])[0] == pytest.approx(5.0)
+
+    def test_constant_x(self):
+        fit = linear_fit([2.0, 2.0, 2.0], [1.0, 2.0, 3.0])
+        assert fit.slope == 0.0
+        assert fit.intercept == pytest.approx(2.0)
+        assert fit.r == 0.0

@@ -1,0 +1,49 @@
+"""Tests for repro.analysis.tables."""
+
+from repro.analysis.tables import format_table
+
+
+class TestFormatTable:
+    def test_basic(self):
+        out = format_table(
+            [{"name": "a", "value": 1.234}, {"name": "bb", "value": 10.0}]
+        )
+        lines = out.splitlines()
+        assert lines[0].split() == ["name", "value"]
+        assert "1.23" in out and "10.00" in out
+
+    def test_column_selection_and_order(self):
+        out = format_table(
+            [{"a": 1, "b": 2, "c": 3}], columns=["c", "a"]
+        )
+        header = out.splitlines()[0].split()
+        assert header == ["c", "a"]
+        assert "2" not in out.splitlines()[2]
+
+    def test_title(self):
+        out = format_table([{"x": 1}], title="My table")
+        assert out.startswith("My table\n")
+
+    def test_empty(self):
+        assert "(no rows)" in format_table([])
+        assert format_table([], title="T").startswith("T")
+
+    def test_missing_keys_render_empty(self):
+        out = format_table([{"a": 1}, {"a": 2, "b": 5}], columns=["a", "b"])
+        assert "5" in out
+
+    def test_bool_rendering(self):
+        out = format_table([{"flag": True}, {"flag": False}])
+        assert "yes" in out and "no" in out
+
+    def test_float_fmt(self):
+        out = format_table([{"v": 0.123456}], float_fmt=".4f")
+        assert "0.1235" in out
+
+    def test_alignment(self):
+        out = format_table(
+            [{"name": "x", "v": 1.0}, {"name": "longer", "v": 100.0}]
+        )
+        lines = out.splitlines()
+        # all rows equal width
+        assert len({len(line) for line in lines[2:]}) == 1

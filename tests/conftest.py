@@ -1,0 +1,51 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mesh.machine import Machine
+from repro.mesh.topology import Mesh2D
+
+
+@pytest.fixture
+def mesh8() -> Mesh2D:
+    """Small square power-of-two mesh."""
+    return Mesh2D(8, 8)
+
+
+@pytest.fixture
+def mesh16() -> Mesh2D:
+    """The paper's 16x16 mesh."""
+    return Mesh2D(16, 16)
+
+
+@pytest.fixture
+def mesh16x22() -> Mesh2D:
+    """The paper's 16x22 mesh (truncated-curve territory)."""
+    return Mesh2D(16, 22)
+
+
+@pytest.fixture
+def machine8(mesh8) -> Machine:
+    """Empty machine on the 8x8 mesh."""
+    return Machine(mesh8)
+
+
+@pytest.fixture
+def machine16(mesh16) -> Machine:
+    """Empty machine on the 16x16 mesh."""
+    return Machine(mesh16)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator for stochastic tests."""
+    return np.random.default_rng(12345)
+
+
+def checkerboard_occupy(machine: Machine, job_id: int = 999) -> None:
+    """Occupy every other node (maximal fragmentation helper)."""
+    nodes = [n for n in range(machine.mesh.n_nodes) if n % 2 == 0]
+    machine.allocate(nodes, job_id=job_id)

@@ -1,0 +1,71 @@
+"""Tests for repro.core.curves3d: n-dimensional Hilbert indexings."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.curves3d import hilbert3d_order, hilbert3d_points, hilbert_nd_points
+from repro.mesh.topology import Mesh3D
+
+
+class TestHilbertNd:
+    def test_order_zero(self):
+        assert hilbert_nd_points(0, 3).tolist() == [[0, 0, 0]]
+
+    def test_2d_matches_dimension_count(self):
+        pts = hilbert_nd_points(2, 2)
+        assert pts.shape == (16, 2)
+
+    @pytest.mark.parametrize("order,n_dims", [(1, 2), (2, 2), (3, 2), (1, 3), (2, 3)])
+    def test_hamiltonian_path(self, order, n_dims):
+        """Visits every cell of the hypercube exactly once, in unit steps."""
+        pts = hilbert_nd_points(order, n_dims)
+        n = 1 << order
+        assert len(pts) == n**n_dims
+        assert len({tuple(p) for p in pts.tolist()}) == n**n_dims
+        steps = np.abs(np.diff(pts, axis=0)).sum(axis=1)
+        assert np.all(steps == 1)
+
+    def test_coordinates_in_range(self):
+        pts = hilbert3d_points(2)
+        assert pts.min() == 0 and pts.max() == 3
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            hilbert_nd_points(-1, 2)
+        with pytest.raises(ValueError):
+            hilbert_nd_points(2, 0)
+
+    @given(order=st.integers(1, 3))
+    @settings(max_examples=3, deadline=None)
+    def test_property_locality_3d(self, order):
+        """1-Lipschitz: mesh distance never exceeds the rank gap."""
+        pts = hilbert3d_points(order)
+        rng = np.random.default_rng(order)
+        idx = rng.integers(0, len(pts), size=(50, 2))
+        d = np.abs(pts[idx[:, 0]] - pts[idx[:, 1]]).sum(axis=1)
+        assert np.all(d <= np.abs(idx[:, 0] - idx[:, 1]))
+
+
+class TestHilbert3dOrder:
+    def test_cube_permutation(self):
+        mesh = Mesh3D(4, 4, 4)
+        order = hilbert3d_order(mesh)
+        assert sorted(order.tolist()) == list(range(64))
+        # unit steps throughout on the exact power-of-two cube
+        steps = [mesh.manhattan(int(a), int(b)) for a, b in zip(order, order[1:])]
+        assert all(s == 1 for s in steps)
+
+    def test_truncated_box(self):
+        mesh = Mesh3D(4, 3, 2)
+        order = hilbert3d_order(mesh)
+        assert sorted(order.tolist()) == list(range(24))
+
+    def test_truncation_creates_gaps_only(self):
+        """Truncated ordering still visits everything; steps >= 1."""
+        mesh = Mesh3D(5, 4, 3)
+        order = hilbert3d_order(mesh)
+        assert len(order) == 60
+        steps = [mesh.manhattan(int(a), int(b)) for a, b in zip(order, order[1:])]
+        assert min(steps) >= 1

@@ -1,0 +1,66 @@
+"""Tests for repro.core.registry."""
+
+import pytest
+
+from repro.core.genalg import GenAlgAllocator
+from repro.core.mc import MCAllocator
+from repro.core.paging import PagingAllocator
+from repro.core.registry import (
+    allocator_names,
+    fig11_allocators,
+    make_allocator,
+    paper_allocators,
+)
+
+
+class TestMakeAllocator:
+    def test_mc(self):
+        a = make_allocator("mc")
+        assert isinstance(a, MCAllocator) and a.shaped
+
+    def test_mc1x1(self):
+        a = make_allocator("mc1x1")
+        assert isinstance(a, MCAllocator) and not a.shaped
+
+    def test_gen_alg(self):
+        assert isinstance(make_allocator("gen-alg"), GenAlgAllocator)
+        assert isinstance(make_allocator("genalg"), GenAlgAllocator)
+
+    def test_plain_curve_is_freelist(self):
+        a = make_allocator("hilbert")
+        assert isinstance(a, PagingAllocator)
+        assert a.policy == "freelist"
+
+    def test_suffixes(self):
+        assert make_allocator("hilbert+bf").policy == "best-fit"
+        assert make_allocator("s-curve+ff").policy == "first-fit"
+        assert make_allocator("h-indexing+ss").policy == "sum-of-squares"
+
+    def test_case_insensitive(self):
+        assert make_allocator("Hilbert+BF").policy == "best-fit"
+
+    def test_kwargs_passthrough(self):
+        a = make_allocator("s-curve+bf", runs="long")
+        assert a.curve_kwargs == {"runs": "long"}
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            make_allocator("peano")
+
+    def test_all_names_constructible(self):
+        for name in allocator_names():
+            assert make_allocator(name) is not None
+
+
+class TestPaperSets:
+    def test_paper_allocators_are_the_nine(self):
+        names = [a.name for a in paper_allocators()]
+        assert len(names) == 9
+        assert "mc" in names and "mc1x1" in names and "gen-alg" in names
+        assert "hilbert" in names and "hilbert+bf" in names
+
+    def test_fig11_allocators_are_the_twelve(self):
+        names = [a.name for a in fig11_allocators()]
+        assert len(names) == 12
+        assert len(set(names)) == 12
+        assert "hilbert+ff" in names

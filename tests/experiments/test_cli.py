@@ -1,0 +1,49 @@
+"""Tests for the experiments CLI (python -m repro.experiments)."""
+
+import io
+
+import pytest
+
+from repro.experiments.__main__ import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for fig in ("fig1", "fig7", "fig11"):
+            assert fig in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["fig99"]) == 2
+
+    def test_runs_cheap_experiment(self, capsys):
+        assert main(["fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "ring subphases: 7" in out
+
+    def test_seed_override(self, capsys):
+        assert main(["fig4", "--seed", "3"]) == 0
+
+    def test_all_experiments_registered(self):
+        assert set(EXPERIMENTS) == {
+            "fig1", "fig2", "fig4", "fig5", "fig6",
+            "fig7", "fig8", "fig9", "fig10", "fig11",
+            "hybrid", "contiguous",
+        }
+
+    def test_swf_trace_input(self, tmp_path, capsys, monkeypatch):
+        """fig7 accepts a real SWF trace file."""
+        from repro.sched.job import Job
+        from repro.trace.swf import write_swf
+
+        path = tmp_path / "tiny.swf"
+        write_swf([Job(i, 100.0 * i, 4, 30.0) for i in range(6)], path)
+        # shrink the sweep so the test stays fast
+        import repro.experiments.sweep as sweep_mod
+
+        monkeypatch.setattr(sweep_mod, "PAPER_ALLOCATORS", ("hilbert+bf",))
+        monkeypatch.setattr(sweep_mod, "PAPER_PATTERNS", ("ring",))
+        assert main(["fig7", "--trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "hilbert+bf" in out

@@ -1,0 +1,108 @@
+"""Tests for repro.mesh.routing (x-y dimension-ordered routing)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mesh.routing import route_hop_count, route_links, route_path
+from repro.mesh.topology import Mesh2D
+from repro.network.links import LinkSpace
+
+
+class TestRoutePath:
+    def test_self_message(self):
+        mesh = Mesh2D(4, 4)
+        assert route_path(mesh, 5, 5) == [5]
+
+    def test_horizontal(self):
+        mesh = Mesh2D(4, 4)
+        path = route_path(mesh, mesh.node_id(0, 1), mesh.node_id(3, 1))
+        assert path == [mesh.node_id(x, 1) for x in range(4)]
+
+    def test_vertical(self):
+        mesh = Mesh2D(4, 4)
+        path = route_path(mesh, mesh.node_id(2, 0), mesh.node_id(2, 3))
+        assert path == [mesh.node_id(2, y) for y in range(4)]
+
+    def test_x_before_y(self):
+        mesh = Mesh2D(4, 4)
+        path = route_path(mesh, mesh.node_id(0, 0), mesh.node_id(2, 2))
+        coords = [mesh.coords(n) for n in path]
+        assert coords == [(0, 0), (1, 0), (2, 0), (2, 1), (2, 2)]
+
+    def test_negative_directions(self):
+        mesh = Mesh2D(4, 4)
+        path = route_path(mesh, mesh.node_id(3, 3), mesh.node_id(1, 1))
+        coords = [mesh.coords(n) for n in path]
+        assert coords == [(3, 3), (2, 3), (1, 3), (1, 2), (1, 1)]
+
+    def test_length_is_hops_plus_one(self):
+        mesh = Mesh2D(6, 7)
+        rng = np.random.default_rng(3)
+        for _ in range(50):
+            a, b = rng.integers(0, mesh.n_nodes, 2)
+            path = route_path(mesh, int(a), int(b))
+            assert len(path) == mesh.manhattan(int(a), int(b)) + 1
+
+    def test_consecutive_steps_adjacent(self):
+        mesh = Mesh2D(5, 9)
+        rng = np.random.default_rng(4)
+        for _ in range(50):
+            a, b = rng.integers(0, mesh.n_nodes, 2)
+            path = route_path(mesh, int(a), int(b))
+            for u, v in zip(path, path[1:]):
+                assert mesh.are_adjacent(u, v)
+
+    def test_torus_takes_short_way(self):
+        mesh = Mesh2D(8, 8, torus=True)
+        path = route_path(mesh, mesh.node_id(0, 0), mesh.node_id(7, 0))
+        assert len(path) == 2  # wraps instead of walking across
+
+    def test_hop_count_matches_manhattan(self):
+        mesh = Mesh2D(5, 5)
+        assert route_hop_count(mesh, 0, 24) == mesh.manhattan(0, 24)
+
+
+class TestRouteLinks:
+    def test_link_count_equals_hops(self):
+        mesh = Mesh2D(6, 6)
+        rng = np.random.default_rng(5)
+        for _ in range(50):
+            a, b = rng.integers(0, mesh.n_nodes, 2)
+            links = route_links(mesh, int(a), int(b))
+            assert len(links) == mesh.manhattan(int(a), int(b))
+
+    def test_links_connect_path(self):
+        mesh = Mesh2D(6, 6)
+        space = LinkSpace.for_mesh(mesh)
+        rng = np.random.default_rng(6)
+        for _ in range(30):
+            a, b = rng.integers(0, mesh.n_nodes, 2)
+            path = route_path(mesh, int(a), int(b))
+            links = route_links(mesh, int(a), int(b))
+            for (u, v), link in zip(zip(path, path[1:]), links):
+                assert space.endpoints(link) == (u, v)
+
+    def test_self_message_no_links(self):
+        mesh = Mesh2D(4, 4)
+        assert route_links(mesh, 7, 7) == []
+
+    @given(
+        w=st.integers(2, 10),
+        h=st.integers(2, 10),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_valid_route(self, w, h, seed):
+        """Every route is a valid x-y walk: x moves first, then y."""
+        mesh = Mesh2D(w, h)
+        rng = np.random.default_rng(seed)
+        a, b = (int(v) for v in rng.integers(0, mesh.n_nodes, 2))
+        path = route_path(mesh, a, b)
+        coords = [mesh.coords(n) for n in path]
+        ys = [c[1] for c in coords]
+        sy = coords[0][1]
+        # y never changes until x has reached its final value
+        dx = mesh.manhattan(a, mesh.node_id(coords[-1][0], sy))
+        assert all(y == sy for y in ys[: dx + 1])

@@ -1,0 +1,197 @@
+"""Tests for repro.patterns (Section 3.2 / Fig 5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.patterns import (
+    AllPairsPingPong,
+    AllToAll,
+    AllToAllBroadcast,
+    CplantTestSuite,
+    NBody,
+    RandomPairs,
+    Ring,
+    get_pattern,
+)
+from repro.patterns.base import pattern_names
+
+ALL_PATTERNS = [
+    AllToAll(),
+    AllToAllBroadcast(),
+    NBody(),
+    RandomPairs(),
+    Ring(),
+    AllPairsPingPong(),
+    CplantTestSuite(repetitions=2),
+]
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("pattern", ALL_PATTERNS, ids=lambda p: p.name)
+    def test_single_processor_empty(self, pattern):
+        assert len(pattern.cycle(1, np.random.default_rng(0))) == 0
+        assert pattern.rounds(1, np.random.default_rng(0)) == []
+        assert pattern.messages_per_cycle(1) == 0
+
+    @pytest.mark.parametrize("pattern", ALL_PATTERNS, ids=lambda p: p.name)
+    @pytest.mark.parametrize("p", [2, 3, 5, 8, 15])
+    def test_ranks_in_range_and_no_self_messages(self, pattern, p):
+        pairs = pattern.cycle(p, np.random.default_rng(0))
+        assert pairs.shape[1] == 2
+        assert np.all(pairs >= 0) and np.all(pairs < p)
+        assert np.all(pairs[:, 0] != pairs[:, 1])
+
+    @pytest.mark.parametrize("pattern", ALL_PATTERNS, ids=lambda p: p.name)
+    @pytest.mark.parametrize("p", [2, 4, 9])
+    def test_rounds_concatenate_to_cycle_length(self, pattern, p):
+        rng = np.random.default_rng(0)
+        rounds = pattern.rounds(p, rng)
+        total = sum(len(r) for r in rounds)
+        assert total == pattern.messages_per_cycle(p)
+
+    @pytest.mark.parametrize(
+        "pattern",
+        [p for p in ALL_PATTERNS if p.name != "random"],
+        ids=lambda p: p.name,
+    )
+    @pytest.mark.parametrize("p", [2, 6, 13])
+    def test_deterministic_patterns_ignore_rng(self, pattern, p):
+        a = pattern.cycle(p, np.random.default_rng(0))
+        b = pattern.cycle(p, np.random.default_rng(999))
+        assert np.array_equal(a, b)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            AllToAll().cycle(0)
+
+
+class TestAllToAll:
+    @pytest.mark.parametrize("p", [2, 3, 8])
+    def test_every_ordered_pair_once(self, p):
+        pairs = AllToAll().cycle(p)
+        assert len(pairs) == p * (p - 1)
+        seen = {(int(s), int(d)) for s, d in pairs}
+        assert len(seen) == p * (p - 1)
+
+    def test_rounds_are_balanced(self):
+        for rnd in AllToAll().rounds(8):
+            # each rank sends exactly once and receives exactly once
+            assert sorted(rnd[:, 0].tolist()) == list(range(8))
+            assert sorted(rnd[:, 1].tolist()) == list(range(8))
+
+    def test_broadcast_rounds_have_single_root(self):
+        for root, rnd in enumerate(AllToAllBroadcast().rounds(6)):
+            assert np.all(rnd[:, 0] == root)
+            assert len(rnd) == 5
+
+
+class TestNBody:
+    def test_paper_example_p15(self):
+        """Fig 5: 15 processors -> 7 ring subphases + 1 chordal."""
+        rounds = NBody().rounds(15)
+        assert len(rounds) == 8
+        for rnd in rounds[:7]:
+            assert np.array_equal(rnd[:, 1], (rnd[:, 0] + 1) % 15)
+        chord = rounds[-1]
+        assert np.array_equal(chord[:, 1], (chord[:, 0] + 7) % 15)
+
+    def test_even_size(self):
+        rounds = NBody().rounds(8)
+        assert len(rounds) == 4 + 1
+        assert NBody().messages_per_cycle(8) == 5 * 8
+
+    def test_p2(self):
+        rounds = NBody().rounds(2)
+        assert len(rounds) == 2  # one ring subphase + chordal
+
+    def test_ring_subphase_count(self):
+        assert NBody.n_ring_subphases(15) == 7
+        assert NBody.n_ring_subphases(128) == 64
+
+
+class TestRandomPairs:
+    def test_seeded_reproducible(self):
+        p1 = RandomPairs().cycle(10, np.random.default_rng(42))
+        p2 = RandomPairs().cycle(10, np.random.default_rng(42))
+        assert np.array_equal(p1, p2)
+
+    def test_different_seeds_differ(self):
+        p1 = RandomPairs().cycle(10, np.random.default_rng(1))
+        p2 = RandomPairs().cycle(10, np.random.default_rng(2))
+        assert not np.array_equal(p1, p2)
+
+    def test_cycle_factor(self):
+        assert RandomPairs(cycle_factor=3).messages_per_cycle(10) == 30
+        assert len(RandomPairs(cycle_factor=3).cycle(10, np.random.default_rng(0))) == 30
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            RandomPairs(cycle_factor=0)
+
+    @given(p=st.integers(2, 40), seed=st.integers(0, 1000))
+    @settings(max_examples=50, deadline=None)
+    def test_property_uniformish(self, p, seed):
+        """All pairs distinct ranks; approx uniform over sources."""
+        pairs = RandomPairs(cycle_factor=8).cycle(p, np.random.default_rng(seed))
+        assert np.all(pairs[:, 0] != pairs[:, 1])
+
+
+class TestPingPong:
+    @pytest.mark.parametrize("p", [2, 4, 5, 7, 8])
+    def test_both_directions_every_pair(self, p):
+        pairs = AllPairsPingPong().cycle(p)
+        seen = {(int(s), int(d)) for s, d in pairs}
+        assert len(pairs) == p * (p - 1)
+        for i in range(p):
+            for j in range(p):
+                if i != j:
+                    assert (i, j) in seen
+
+    def test_rounds_pair_each_rank_once(self):
+        for rnd in AllPairsPingPong().rounds(8):
+            srcs = rnd[:, 0].tolist()
+            assert sorted(srcs) == list(range(8))
+
+
+class TestCplantSuite:
+    def test_composition(self):
+        suite = CplantTestSuite(repetitions=1)
+        expected = (
+            AllToAllBroadcast().messages_per_cycle(6)
+            + AllPairsPingPong().messages_per_cycle(6)
+            + Ring().messages_per_cycle(6)
+        )
+        assert suite.messages_per_cycle(6) == expected
+
+    def test_repetitions_scale(self):
+        assert CplantTestSuite(repetitions=4).messages_per_cycle(6) == (
+            4 * CplantTestSuite(repetitions=1).messages_per_cycle(6)
+        )
+
+    def test_invalid_repetitions(self):
+        with pytest.raises(ValueError):
+            CplantTestSuite(repetitions=0)
+
+
+class TestRegistry:
+    def test_all_names_registered(self):
+        names = pattern_names()
+        for expected in (
+            "all-to-all",
+            "n-body",
+            "random",
+            "ring",
+            "ping-pong",
+            "cplant-test-suite",
+            "all-to-all-broadcast",
+        ):
+            assert expected in names
+
+    def test_get_pattern_with_kwargs(self):
+        assert get_pattern("random", cycle_factor=5).cycle_factor == 5
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            get_pattern("butterfly")

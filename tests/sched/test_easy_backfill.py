@@ -1,0 +1,102 @@
+"""Tests for the EASY backfilling scheduler extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.registry import make_allocator
+from repro.mesh.topology import Mesh2D
+from repro.patterns.base import get_pattern
+from repro.sched.job import Job
+from repro.sched.simulator import Simulation
+
+
+def run(jobs, scheduler, mesh=None, allocator="hilbert+bf", pattern="ring"):
+    mesh = mesh or Mesh2D(8, 8)
+    return Simulation(
+        mesh,
+        make_allocator(allocator),
+        get_pattern(pattern),
+        jobs,
+        scheduler=scheduler,
+    ).run()
+
+
+class TestEasyBackfill:
+    def test_invalid_scheduler_rejected(self):
+        with pytest.raises(ValueError):
+            run([], scheduler="sjf")
+
+    def test_result_records_scheduler(self):
+        result = run([Job(0, 0.0, 4, 10.0)], scheduler="easy")
+        assert result.scheduler == "easy"
+        assert run([Job(0, 0.0, 4, 10.0)], scheduler="fcfs").scheduler == "fcfs"
+
+    def test_backfill_jumps_blocked_head(self):
+        """FCFS makes the tiny job wait behind a huge head; EASY does not.
+
+        Job 0 occupies 60/64 nodes.  Job 1 (head, 64 nodes) blocks.
+        Job 2 (2 nodes, short) fits in the hole and -- under EASY --
+        cannot delay job 1's reservation, so it starts immediately.
+        """
+        jobs = [
+            Job(0, 0.0, 60, 100.0),
+            Job(1, 1.0, 64, 10.0),
+            Job(2, 2.0, 2, 5.0),
+        ]
+        fcfs = {j.job_id: j for j in run(jobs, "fcfs").jobs}
+        easy = {j.job_id: j for j in run(jobs, "easy").jobs}
+        assert fcfs[2].start >= fcfs[1].start  # strict FCFS order
+        assert easy[2].start < easy[1].start  # backfilled
+        assert easy[2].start == pytest.approx(2.0)
+
+    def test_backfill_never_starves_head_with_spare_nodes(self):
+        """A long backfill job is admitted only via spare processors."""
+        jobs = [
+            Job(0, 0.0, 60, 50.0),
+            Job(1, 1.0, 62, 10.0),  # head: needs 62, reservation spare = 2
+            Job(2, 2.0, 2, 10_000.0),  # long but fits the spare
+            Job(3, 3.0, 4, 1.0),  # short but > spare and > window: waits
+        ]
+        easy = {j.job_id: j for j in run(jobs, "easy").jobs}
+        assert easy[2].start == pytest.approx(2.0)  # spare backfill
+        assert easy[3].start >= easy[1].start  # would delay the head
+
+    def test_easy_equals_fcfs_without_blocking(self):
+        """With no head blocking the two schedulers are identical."""
+        jobs = [Job(i, 50.0 * i, 4, 10.0) for i in range(6)]
+        fcfs = run(jobs, "fcfs")
+        easy = run(jobs, "easy")
+        for a, b in zip(fcfs.jobs, easy.jobs):
+            assert a.start == pytest.approx(b.start)
+            assert a.completion == pytest.approx(b.completion)
+
+    def test_easy_improves_mean_response_under_load(self):
+        """On a congested random workload EASY should not hurt on average."""
+        rng = np.random.default_rng(4)
+        jobs = [
+            Job(
+                i,
+                float(rng.integers(0, 300)),
+                int(rng.integers(1, 50)),
+                float(rng.integers(5, 80)),
+            )
+            for i in range(60)
+        ]
+        jobs.sort(key=lambda j: j.arrival)
+        jobs = [
+            Job(i, j.arrival, j.size, j.runtime) for i, j in enumerate(jobs)
+        ]
+        fcfs = run(jobs, "fcfs").mean_response()
+        easy = run(jobs, "easy").mean_response()
+        assert easy <= fcfs * 1.02  # backfilling helps (or ties) on average
+
+    def test_all_jobs_complete_under_easy(self):
+        rng = np.random.default_rng(7)
+        jobs = [
+            Job(i, float(10 * i), int(rng.integers(1, 40)), 30.0)
+            for i in range(40)
+        ]
+        result = run(jobs, "easy", pattern="all-to-all")
+        assert len(result.jobs) == 40
+        for job in result.jobs:
+            assert job.completion > job.start >= job.arrival - 1e-9

@@ -1,0 +1,43 @@
+"""Tests for repro.sched.events."""
+
+import pytest
+
+from repro.sched.events import EventQueue
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        q.push(3.0, "c")
+        q.push(1.0, "a")
+        q.push(2.0, "b")
+        assert [q.pop()[1] for _ in range(3)] == ["a", "b", "c"]
+
+    def test_fifo_on_ties(self):
+        q = EventQueue()
+        for label in "abc":
+            q.push(5.0, label)
+        assert [q.pop()[1] for _ in range(3)] == ["a", "b", "c"]
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() == float("inf")
+        q.push(7.0, "x")
+        assert q.peek_time() == 7.0
+        assert len(q) == 1
+
+    def test_bool_and_len(self):
+        q = EventQueue()
+        assert not q
+        q.push(1.0, None)
+        assert q and len(q) == 1
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(-1.0, "x")
+
+    def test_pop_returns_time(self):
+        q = EventQueue()
+        q.push(4.5, "payload")
+        t, payload = q.pop()
+        assert t == 4.5 and payload == "payload"

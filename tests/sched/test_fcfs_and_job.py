@@ -1,0 +1,74 @@
+"""Tests for repro.sched.job and repro.sched.fcfs."""
+
+import pytest
+
+from repro.sched.fcfs import FCFSQueue
+from repro.sched.job import Job, JobResult
+
+
+class TestJob:
+    def test_quota_rounds_runtime(self):
+        assert Job(0, 0.0, 4, 10.4).quota == 10
+        assert Job(0, 0.0, 4, 10.6).quota == 11
+
+    def test_quota_minimum_one(self):
+        assert Job(0, 0.0, 4, 0.0).quota == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Job(0, 0.0, 0, 10.0)
+        with pytest.raises(ValueError):
+            Job(0, -1.0, 4, 10.0)
+        with pytest.raises(ValueError):
+            Job(0, 0.0, 4, -5.0)
+
+    def test_frozen(self):
+        job = Job(0, 0.0, 4, 10.0)
+        with pytest.raises(AttributeError):
+            job.size = 8
+
+
+class TestJobResult:
+    def test_derived_metrics(self):
+        r = JobResult(
+            job_id=1,
+            arrival=10.0,
+            start=15.0,
+            completion=40.0,
+            size=8,
+            quota=20,
+            pairwise_hops=2.0,
+            message_hops=1.5,
+            n_components=2,
+        )
+        assert r.response == 30.0
+        assert r.wait == 5.0
+        assert r.duration == 25.0
+        assert not r.contiguous
+
+    def test_contiguous(self):
+        r = JobResult(1, 0, 0, 1, 1, 1, 0.0, 0.0, n_components=1)
+        assert r.contiguous
+
+
+class TestFCFSQueue:
+    def test_fifo_order(self):
+        q = FCFSQueue()
+        jobs = [Job(i, float(i), 1, 1.0) for i in range(3)]
+        for j in jobs:
+            q.submit(j)
+        assert q.head() is jobs[0]
+        assert q.pop_head() is jobs[0]
+        assert q.head() is jobs[1]
+
+    def test_empty(self):
+        q = FCFSQueue()
+        assert q.head() is None
+        assert not q
+        assert len(q) == 0
+
+    def test_iteration(self):
+        q = FCFSQueue()
+        for i in range(4):
+            q.submit(Job(i, 0.0, 1, 1.0))
+        assert [j.job_id for j in q] == [0, 1, 2, 3]

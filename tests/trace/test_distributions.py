@@ -1,0 +1,79 @@
+"""Tests for repro.trace.distributions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace.distributions import Hyperexponential, PowerOfTwoSizes
+
+
+class TestHyperexponential:
+    def test_fit_matches_moments_analytically(self):
+        h = Hyperexponential.fit(mean=1301.0, cv=3.7)
+        assert h.mean == pytest.approx(1301.0, rel=1e-9)
+        assert h.cv == pytest.approx(3.7, rel=1e-9)
+
+    def test_cv_below_one_degrades_to_exponential(self):
+        h = Hyperexponential.fit(mean=100.0, cv=0.5)
+        assert h.p == 1.0
+        assert h.mean == pytest.approx(100.0)
+
+    def test_sample_moments(self):
+        h = Hyperexponential.fit(mean=500.0, cv=2.0)
+        x = h.sample(np.random.default_rng(0), 200_000)
+        assert x.mean() == pytest.approx(500.0, rel=0.05)
+        assert x.std() / x.mean() == pytest.approx(2.0, rel=0.1)
+
+    def test_samples_positive(self):
+        h = Hyperexponential.fit(mean=10.0, cv=1.5)
+        assert np.all(h.sample(np.random.default_rng(1), 1000) > 0)
+
+    def test_invalid_mean(self):
+        with pytest.raises(ValueError):
+            Hyperexponential.fit(mean=0.0, cv=2.0)
+
+    @given(
+        mean=st.floats(1.0, 1e5),
+        cv=st.floats(1.0, 6.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_fit_is_exact(self, mean, cv):
+        h = Hyperexponential.fit(mean, cv)
+        assert h.mean == pytest.approx(mean, rel=1e-6)
+        assert h.cv == pytest.approx(cv, rel=1e-6)
+
+
+class TestPowerOfTwoSizes:
+    def test_mean_matches_target(self):
+        d = PowerOfTwoSizes.fit(mean=14.5, max_size=352)
+        assert d.mean == pytest.approx(14.5, abs=0.01)
+
+    def test_cv_near_paper(self):
+        """Published CV is 1.5; the mixture should land in its vicinity."""
+        d = PowerOfTwoSizes.fit(mean=14.5, max_size=352)
+        assert 1.0 <= d.cv <= 2.2
+
+    def test_powers_dominate(self):
+        d = PowerOfTwoSizes.fit(mean=14.5, max_size=352, p2=0.82)
+        x = d.sample(np.random.default_rng(0), 50_000)
+        pow2 = np.sum((x & (x - 1)) == 0) / len(x)
+        assert pow2 == pytest.approx(0.82, abs=0.02)
+
+    def test_sizes_in_range(self):
+        d = PowerOfTwoSizes.fit(mean=14.5, max_size=352)
+        x = d.sample(np.random.default_rng(1), 10_000)
+        assert x.min() >= 1
+        assert x.max() <= 352
+
+    def test_probabilities_sum_to_one(self):
+        d = PowerOfTwoSizes.fit(mean=20.0, max_size=128)
+        assert d.probs.sum() == pytest.approx(1.0)
+
+    def test_invalid_p2(self):
+        with pytest.raises(ValueError):
+            PowerOfTwoSizes.fit(mean=10.0, p2=0.0)
+
+    def test_unreachable_mean(self):
+        with pytest.raises(ValueError):
+            PowerOfTwoSizes.fit(mean=1000.0, max_size=64)

@@ -1,0 +1,85 @@
+"""Tests for repro.trace.swf: Standard Workload Format round-trips."""
+
+import io
+
+import pytest
+
+from repro.sched.job import Job
+from repro.trace.swf import SWF_FIELDS, read_swf, write_swf
+
+
+def swf_line(job_number, submit, run_time, procs, requested=-1):
+    fields = [-1] * 18
+    fields[0] = job_number
+    fields[1] = submit
+    fields[3] = run_time
+    fields[4] = procs
+    fields[7] = requested
+    return " ".join(str(f) for f in fields)
+
+
+class TestReadSwf:
+    def test_basic_parse(self):
+        text = "\n".join(
+            [
+                "; Comment header",
+                "; UnixStartTime: 846442799",
+                swf_line(1, 100, 3600, 16),
+                swf_line(2, 200, 60, 4),
+            ]
+        )
+        jobs = read_swf(io.StringIO(text))
+        assert len(jobs) == 2
+        assert jobs[0].size == 16
+        assert jobs[0].runtime == 3600.0
+        # arrivals shifted to start at 0
+        assert jobs[0].arrival == 0.0
+        assert jobs[1].arrival == 100.0
+
+    def test_ids_dense_in_arrival_order(self):
+        text = "\n".join([swf_line(9, 500, 10, 2), swf_line(7, 100, 10, 2)])
+        jobs = read_swf(io.StringIO(text))
+        assert [j.job_id for j in jobs] == [0, 1]
+        assert jobs[0].arrival == 0.0  # originally submit=100
+
+    def test_falls_back_to_requested_processors(self):
+        text = swf_line(1, 0, 10, -1, requested=8)
+        jobs = read_swf(io.StringIO(text))
+        assert jobs[0].size == 8
+
+    def test_skips_unusable_records(self):
+        text = "\n".join(
+            [
+                swf_line(1, 0, 10, -1, requested=-1),  # no size at all
+                swf_line(2, 10, 10, 4),
+            ]
+        )
+        jobs = read_swf(io.StringIO(text))
+        assert len(jobs) == 1
+
+    def test_wrong_field_count_raises(self):
+        with pytest.raises(ValueError):
+            read_swf(io.StringIO("1 2 3"))
+
+    def test_empty_file(self):
+        assert read_swf(io.StringIO("; only comments\n")) == []
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.swf"
+        jobs = [Job(0, 0.0, 4, 100.0), Job(1, 50.0, 8, 200.0)]
+        write_swf(jobs, path, header_comments=["test trace"])
+        back = read_swf(path)
+        assert len(back) == 2
+        assert back[0].size == 4 and back[1].size == 8
+        assert back[1].arrival == pytest.approx(50.0)
+        assert back[0].runtime == pytest.approx(100.0)
+
+    def test_written_header_is_comment(self, tmp_path):
+        path = tmp_path / "trace.swf"
+        write_swf([Job(0, 0.0, 1, 1.0)], path, header_comments=["hello"])
+        assert path.read_text().startswith("; hello\n")
+
+    def test_field_names_complete(self):
+        assert len(SWF_FIELDS) == 18
+        assert SWF_FIELDS[1] == "submit_time"
+        assert SWF_FIELDS[4] == "allocated_processors"

@@ -1,0 +1,108 @@
+"""Tests for repro.trace.synthetic: the SDSC-Paragon-like workload."""
+
+import numpy as np
+import pytest
+
+from repro.sched.job import Job
+from repro.trace.synthetic import (
+    SyntheticTraceConfig,
+    apply_load_factor,
+    drop_oversized,
+    sdsc_paragon_trace,
+    synthetic_trace,
+    trace_statistics,
+)
+
+
+class TestSdscTrace:
+    def test_paper_statistics(self):
+        """Moments of the full trace match Section 3.1 within sampling noise."""
+        jobs = sdsc_paragon_trace(seed=0)
+        stats = trace_statistics(jobs)
+        assert stats["n_jobs"] == 6087
+        assert stats["mean_interarrival"] == pytest.approx(1301.0, rel=0.15)
+        assert stats["cv_interarrival"] == pytest.approx(3.7, rel=0.25)
+        assert stats["mean_size"] == pytest.approx(14.5, rel=0.15)
+        assert stats["cv_size"] == pytest.approx(1.5, rel=0.5)
+        assert stats["mean_runtime"] == pytest.approx(3.04 * 3600, rel=0.15)
+        assert stats["cv_runtime"] == pytest.approx(1.13, rel=0.25)
+        assert stats["max_size"] <= 352
+
+    def test_three_320_node_jobs(self):
+        jobs = sdsc_paragon_trace(seed=0)
+        assert sum(1 for j in jobs if j.size == 320) == 3
+
+    def test_deterministic(self):
+        a = sdsc_paragon_trace(seed=5, n_jobs=100)
+        b = sdsc_paragon_trace(seed=5, n_jobs=100)
+        assert all(
+            x.arrival == y.arrival and x.size == y.size and x.runtime == y.runtime
+            for x, y in zip(a, b)
+        )
+
+    def test_different_seeds_differ(self):
+        a = sdsc_paragon_trace(seed=1, n_jobs=100)
+        b = sdsc_paragon_trace(seed=2, n_jobs=100)
+        assert any(x.size != y.size or x.arrival != y.arrival for x, y in zip(a, b))
+
+    def test_runtime_scale_preserves_load(self):
+        """Scaling runtimes and interarrivals together keeps offered load."""
+        full = trace_statistics(sdsc_paragon_trace(seed=3, n_jobs=2000))
+        scaled = trace_statistics(
+            sdsc_paragon_trace(seed=3, n_jobs=2000, runtime_scale=0.1)
+        )
+        load_full = full["mean_runtime"] / full["mean_interarrival"]
+        load_scaled = scaled["mean_runtime"] / scaled["mean_interarrival"]
+        assert load_scaled == pytest.approx(load_full, rel=0.1)
+
+    def test_sorted_by_arrival_with_dense_ids(self):
+        jobs = sdsc_paragon_trace(seed=0, n_jobs=50)
+        arrivals = [j.arrival for j in jobs]
+        assert arrivals == sorted(arrivals)
+        assert [j.job_id for j in jobs] == list(range(50))
+        assert jobs[0].arrival == 0.0
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticTraceConfig(n_jobs=0)
+        with pytest.raises(ValueError):
+            SyntheticTraceConfig(n_jobs=2, n_320_jobs=5)
+
+    def test_custom_config(self):
+        config = SyntheticTraceConfig(
+            n_jobs=40, max_size=64, n_320_jobs=0, mean_size=10.0
+        )
+        jobs = synthetic_trace(config, seed=1)
+        assert len(jobs) == 40
+        assert max(j.size for j in jobs) <= 64
+
+
+class TestTransforms:
+    def test_apply_load_factor_contracts_arrivals(self):
+        jobs = [Job(0, 100.0, 4, 10.0), Job(1, 200.0, 4, 10.0)]
+        contracted = apply_load_factor(jobs, 0.2)
+        assert contracted[0].arrival == pytest.approx(20.0)
+        assert contracted[1].arrival == pytest.approx(40.0)
+        # sizes and runtimes untouched
+        assert contracted[0].size == 4 and contracted[0].runtime == 10.0
+
+    def test_apply_load_factor_identity(self):
+        jobs = [Job(0, 100.0, 4, 10.0)]
+        assert apply_load_factor(jobs, 1.0)[0].arrival == 100.0
+
+    def test_apply_load_factor_invalid(self):
+        with pytest.raises(ValueError):
+            apply_load_factor([], 0.0)
+
+    def test_drop_oversized_removes_320s(self):
+        """The paper's 16x16 workload: same trace minus the 320-node jobs."""
+        jobs = sdsc_paragon_trace(seed=0)
+        kept = drop_oversized(jobs, 256)
+        assert len(jobs) - len(kept) == 3
+        assert max(j.size for j in kept) <= 256
+
+    def test_drop_oversized_keeps_everything_on_big_machine(self):
+        jobs = sdsc_paragon_trace(seed=0, n_jobs=200)
+        assert len(drop_oversized(jobs, 352)) == 200
