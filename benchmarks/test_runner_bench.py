@@ -1,0 +1,99 @@
+"""Benchmarks for the parallel experiment engine (repro.runner).
+
+Three claims, measured on a multi-cell sweep grid:
+
+* fanning cells out over workers gives wall-clock speedup on multi-core
+  hardware (asserted only when cores are available -- single-core CI
+  still checks result parity),
+* a warm cache makes repeating the sweep nearly free,
+* parallel and serial runs produce identical cells (the determinism
+  guarantee the correctness tests rely on).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro.experiments.config import Scale
+from repro.runner import ResultCache, run_many, sweep_specs
+
+#: Sweep sized so the grid dominates process-pool overhead.
+BENCH_SCALE = Scale(
+    name="bench",
+    n_jobs=100,
+    runtime_scale=0.01,
+    loads=(1.0, 0.6),
+    fig1_repetitions=1,
+    fig1_samples=4,
+    fig9_min_samples=4,
+    seed=3,
+)
+
+GRID = sweep_specs(
+    (16, 16),
+    ("all-to-all",),
+    BENCH_SCALE.loads,
+    ("hilbert+bf", "mc1x1", "s-curve+bf"),
+    seed=BENCH_SCALE.seed,
+    n_jobs=BENCH_SCALE.n_jobs,
+    runtime_scale=BENCH_SCALE.runtime_scale,
+)
+
+N_CORES = multiprocessing.cpu_count()
+
+
+def _timed(**kwargs):
+    start = time.perf_counter()
+    cells = run_many(GRID, **kwargs)
+    return cells, time.perf_counter() - start
+
+
+class TestEngineBench:
+    def test_parallel_sweep_speedup(self):
+        """Multi-core fan-out beats the serial path on the same grid."""
+        serial_cells, serial_s = _timed(jobs=1)
+        workers = min(N_CORES, len(GRID))
+        parallel_cells, parallel_s = _timed(jobs=workers)
+
+        # Identical numbers regardless of dispatch (determinism guarantee).
+        assert [c.summary for c in parallel_cells] == [
+            c.summary for c in serial_cells
+        ]
+
+        speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+        print(
+            f"\n{len(GRID)}-cell sweep: serial {serial_s:.2f}s, "
+            f"jobs={workers} {parallel_s:.2f}s, speedup {speedup:.2f}x "
+            f"({N_CORES} cores)"
+        )
+        # Only assert on genuinely parallel hardware; shared 2-core CI
+        # runners are too noisy for a hard wall-clock bound.
+        if N_CORES >= 4:
+            assert speedup > 1.0, (
+                f"expected multi-core speedup, got {speedup:.2f}x "
+                f"(serial {serial_s:.2f}s vs parallel {parallel_s:.2f}s)"
+            )
+
+    def test_warm_cache_makes_rerun_nearly_free(self, tmp_path):
+        cache = ResultCache(tmp_path / "bench-cache")
+        cold_cells, cold_s = _timed(cache=cache)
+        warm_cells, warm_s = _timed(cache=cache)
+
+        assert cache.hits == len(GRID)
+        assert all(c.cached for c in warm_cells)
+        assert [c.summary for c in warm_cells] == [c.summary for c in cold_cells]
+        # Loading JSON artifacts must be far cheaper than simulating.
+        assert warm_s < cold_s / 4, (
+            f"cache rerun not cheap: cold {cold_s:.2f}s vs warm {warm_s:.2f}s"
+        )
+        print(
+            f"\ncold {cold_s:.2f}s -> warm {warm_s:.3f}s "
+            f"({cold_s / max(warm_s, 1e-9):.0f}x faster)"
+        )
+
+    def test_engine_overhead_records_elapsed(self):
+        cells = run_many(GRID[:1])
+        assert cells[0].elapsed > 0.0

@@ -6,40 +6,51 @@ trace plays through the FCFS simulator on a 16x16 mesh for each strategy
 and each of two communication patterns; the table shows how the ordering
 changes with the pattern -- the paper's central observation.
 
-Run:  python examples/compare_allocators.py [n_jobs]
+The grid runs on the parallel experiment engine (``repro.runner``): every
+(pattern, allocator) cell is an :class:`ExperimentSpec`, the cells fan
+out over ``jobs`` worker processes, and results are cached under
+``.repro-cache/`` so re-running this script is instant.
+
+Run:  python examples/compare_allocators.py [n_jobs] [workers]
 """
 
 import sys
 
-from repro import Mesh2D, make_allocator
+from repro import ResultCache
 from repro.analysis.tables import format_table
 from repro.experiments.sweep import PAPER_ALLOCATORS
-from repro.patterns import get_pattern
-from repro.sched import Simulation, summarize
-from repro.trace import drop_oversized, sdsc_paragon_trace
+from repro.runner import run_many, sweep_specs
 
 n_jobs = int(sys.argv[1]) if len(sys.argv) > 1 else 250
+workers = int(sys.argv[2]) if len(sys.argv) > 2 else 2
+patterns = ("all-to-all", "n-body")
 
-mesh = Mesh2D(16, 16)
-jobs = drop_oversized(
-    sdsc_paragon_trace(seed=7, n_jobs=n_jobs, runtime_scale=0.02), mesh.n_nodes
+specs = sweep_specs(
+    (16, 16),
+    patterns,
+    (1.0,),
+    PAPER_ALLOCATORS,
+    seed=7,
+    n_jobs=n_jobs,
+    runtime_scale=0.02,
 )
-print(f"trace: {len(jobs)} jobs on {mesh}")
+cache = ResultCache()
+cells = run_many(specs, jobs=workers, cache=cache)
+# summary.n_jobs is the post-drop_oversized count actually simulated
+print(
+    f"trace: {cells[0].summary.n_jobs} jobs on 16x16, {workers} workers; "
+    f"{cache.stats_line()}"
+)
 
-for pattern_name in ("all-to-all", "n-body"):
+for pattern_name in patterns:
     rows = []
-    for name in PAPER_ALLOCATORS:
-        sim = Simulation(
-            mesh,
-            make_allocator(name),
-            get_pattern(pattern_name),
-            jobs,
-            seed=7,
-        )
-        s = summarize(sim.run())
+    for cell in cells:
+        if cell.spec.pattern != pattern_name:
+            continue
+        s = cell.summary
         rows.append(
             {
-                "allocator": name,
+                "allocator": s.allocator,
                 "mean response (s)": s.mean_response,
                 "service stretch": s.mean_stretch,
                 "% contiguous": 100 * s.fraction_contiguous,

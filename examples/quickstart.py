@@ -9,6 +9,18 @@ Covers the core public API in ~40 lines:
 * visualise the occupancy.
 
 Run:  python examples/quickstart.py
+
+To reproduce the paper's figures, use the experiments CLI.  The sweep
+grids run on the parallel experiment engine (``repro.runner``): ``--jobs
+N`` fans independent (allocator, load, pattern) cells out over worker
+processes, and results are cached under ``.repro-cache/`` so repeating a
+sweep is free::
+
+    python -m repro.experiments fig7 --scale small --jobs 4
+    python -m repro.experiments fig7 --scale small --jobs 4   # cache hits
+    python -m repro.experiments fig8 --no-cache               # force recompute
+
+See ``examples/compare_allocators.py`` for driving the engine from code.
 """
 
 from repro import Machine, Mesh2D, Request, make_allocator

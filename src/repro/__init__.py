@@ -6,8 +6,9 @@ different communication patterns.  This package implements the full system:
 the allocators (:mod:`repro.core`), the mesh machine and network substrates
 (:mod:`repro.mesh`, :mod:`repro.network`), the communication patterns
 (:mod:`repro.patterns`), the FCFS trace-driven simulator (:mod:`repro.sched`),
-the workload substrate (:mod:`repro.trace`), and drivers regenerating every
-figure and table of the paper (:mod:`repro.experiments`).
+the workload substrate (:mod:`repro.trace`), the parallel experiment
+engine with result caching (:mod:`repro.runner`), and drivers regenerating
+every figure and table of the paper (:mod:`repro.experiments`).
 
 Quickstart::
 
@@ -31,8 +32,9 @@ from repro.core import (
 )
 from repro.mesh import Machine, Mesh2D, Mesh3D
 from repro.patterns import get_pattern
+from repro.runner import ExperimentSpec, ResultCache, run_many
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Mesh2D",
@@ -45,5 +47,8 @@ __all__ = [
     "paper_allocators",
     "get_curve",
     "get_pattern",
+    "ExperimentSpec",
+    "ResultCache",
+    "run_many",
     "__version__",
 ]

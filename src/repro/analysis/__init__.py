@@ -1,6 +1,14 @@
-"""Analysis utilities: correlations (Figs 1/9/10) and table formatting."""
+"""Analysis utilities: correlations (Figs 1/9/10), table formatting, and
+cached-sweep loading from the :mod:`repro.runner` artifact store."""
 
 from repro.analysis.correlation import linear_fit, pearson_r, spearman_r
-from repro.analysis.tables import format_table
+from repro.analysis.tables import format_cached_sweep, format_table, load_cached_sweep
 
-__all__ = ["pearson_r", "spearman_r", "linear_fit", "format_table"]
+__all__ = [
+    "pearson_r",
+    "spearman_r",
+    "linear_fit",
+    "format_table",
+    "load_cached_sweep",
+    "format_cached_sweep",
+]

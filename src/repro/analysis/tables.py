@@ -1,10 +1,11 @@
-"""Plain-text table rendering for experiment reports."""
+"""Plain-text table rendering and cached-sweep loading for reports."""
 
 from __future__ import annotations
 
 from collections.abc import Iterable, Mapping, Sequence
+from pathlib import Path
 
-__all__ = ["format_table"]
+__all__ = ["format_table", "load_cached_sweep", "format_cached_sweep"]
 
 
 def _fmt(value, float_fmt: str) -> str:
@@ -51,3 +52,60 @@ def format_table(
     lines.append("  ".join("-" * w for w in widths))
     lines.extend(render_row(r) for r in cells)
     return "\n".join(lines)
+
+
+def load_cached_sweep(
+    root: str | Path | None = None,
+    pattern: str | None = None,
+    mesh_shape: tuple[int, int] | None = None,
+    allocator: str | None = None,
+) -> list[dict]:
+    """Summary rows of every cached experiment cell, optionally filtered.
+
+    Reads the :mod:`repro.runner` artifact cache (``root`` defaults to
+    ``$REPRO_CACHE_DIR`` or ``.repro-cache``) so analyses and notebooks
+    can consume completed sweeps without re-running anything.  Each row is
+    :meth:`~repro.sched.stats.RunSummary.row` plus the cell's cache key
+    and compute time; rows sort by (pattern, load descending, allocator).
+    """
+    from repro.runner.cache import ResultCache
+
+    cache = ResultCache(root)
+    rows = []
+    for cell in cache.iter_results():
+        spec = cell.spec
+        if pattern is not None and spec.pattern != pattern:
+            continue
+        if mesh_shape is not None and spec.mesh_shape != tuple(mesh_shape):
+            continue
+        if allocator is not None and spec.allocator != allocator:
+            continue
+        row = cell.summary.row()
+        row["cache_key"] = spec.cache_key()
+        row["elapsed"] = cell.elapsed
+        rows.append(row)
+    rows.sort(key=lambda r: (r["pattern"], -r["load"], r["allocator"]))
+    return rows
+
+
+def format_cached_sweep(
+    root: str | Path | None = None,
+    metric: str = "mean_response",
+    **filters,
+) -> str:
+    """Table of cached cells (``metric`` column plus cell coordinates)."""
+    rows = load_cached_sweep(root, **filters)
+    return format_table(
+        [
+            {
+                "pattern": r["pattern"],
+                "mesh": r["mesh"],
+                "allocator": r["allocator"],
+                "load": r["load"],
+                metric: r[metric],
+            }
+            for r in rows
+        ],
+        float_fmt=".2f",
+        title=f"cached sweep cells ({len(rows)} artifacts)",
+    )

@@ -8,9 +8,20 @@ Examples::
     python -m repro.experiments all --scale small
     python -m repro.experiments fig7 --trace /path/to/SDSC-Par-1996.swf
 
+    # Parallel experiment engine: fan the figure grid out over 4 worker
+    # processes.  Cell results are identical for any --jobs value.
+    python -m repro.experiments fig7 --scale small --jobs 4
+
+    # Results are cached under .repro-cache/ (override the location with
+    # --cache-dir or $REPRO_CACHE_DIR), so repeating a sweep is free:
+    python -m repro.experiments fig7 --scale small --jobs 4   # cache hits
+    python -m repro.experiments fig8 --no-cache               # force recompute
+
 ``--trace`` feeds a real Standard Workload Format file (e.g. the actual
 SDSC Paragon trace) to the sweep experiments in place of the synthetic
-workload.
+workload.  ``--jobs``/``--no-cache``/``--cache-dir`` apply to the
+trace-driven experiments (fig7, fig8, fig9/10, fig11, hybrid,
+contiguous); the cheap closed-form figures ignore them.
 """
 
 from __future__ import annotations
@@ -33,50 +44,51 @@ from repro.experiments import (
     hybrid_workload,
     metric_correlation,
 )
+from repro.runner import ResultCache
 
 __all__ = ["main", "EXPERIMENTS"]
 
 
-def _fig7(scale, seed, trace):
+def _fig7(scale, seed, trace, jobs, cache):
     from repro.experiments.sweep import run_sweep
 
     if trace is None:
-        return fig07_sweep16x22.run(scale, seed)
-    return run_sweep(fig07_sweep16x22.MESH, scale, trace=trace)
+        return fig07_sweep16x22.run(scale, seed, jobs=jobs, cache=cache)
+    return run_sweep(fig07_sweep16x22.MESH, scale, trace=trace, jobs=jobs, cache=cache)
 
 
-def _fig8(scale, seed, trace):
+def _fig8(scale, seed, trace, jobs, cache):
     from repro.experiments.sweep import run_sweep
 
     if trace is None:
-        return fig08_sweep16x16.run(scale, seed)
-    return run_sweep(fig08_sweep16x16.MESH, scale, trace=trace)
+        return fig08_sweep16x16.run(scale, seed, jobs=jobs, cache=cache)
+    return run_sweep(fig08_sweep16x16.MESH, scale, trace=trace, jobs=jobs, cache=cache)
 
 
-#: name -> (run(scale, seed, trace), report(result), description)
+#: name -> (run(scale, seed, trace, jobs, cache), report(result), description)
 EXPERIMENTS = {
     "fig1": (
-        lambda s, seed, tr: fig01_testsuite.run(s, seed),
+        lambda s, seed, tr, j, c: fig01_testsuite.run(s, seed),
         fig01_testsuite.report,
         "running time vs pairwise distance (Cplant test suite, flit engine)",
     ),
     "fig2": (
-        lambda s, seed, tr: fig02_curves.run(s, seed),
+        lambda s, seed, tr, j, c: fig02_curves.run(s, seed),
         fig02_curves.report,
         "S-curve / Hilbert / H-indexing renderings",
     ),
     "fig4": (
-        lambda s, seed, tr: fig04_shells.run(s, seed),
+        lambda s, seed, tr, j, c: fig04_shells.run(s, seed),
         fig04_shells.report,
         "MC shells around a 3x1 request",
     ),
     "fig5": (
-        lambda s, seed, tr: fig05_nbody.run(s, seed),
+        lambda s, seed, tr, j, c: fig05_nbody.run(s, seed),
         fig05_nbody.report,
         "n-body message subphases for 15 processors",
     ),
     "fig6": (
-        lambda s, seed, tr: fig06_truncation.run(s, seed),
+        lambda s, seed, tr, j, c: fig06_truncation.run(s, seed),
         fig06_truncation.report,
         "truncated Hilbert / H-indexing on 16x22 with gaps",
     ),
@@ -91,28 +103,28 @@ EXPERIMENTS = {
         "response time vs load, 16x16 mesh, 3 patterns x 9 allocators",
     ),
     "fig9": (
-        lambda s, seed, tr: metric_correlation.run(s, seed),
+        lambda s, seed, tr, j, c: metric_correlation.run(s, seed, jobs=j, cache=c),
         metric_correlation.report_fig9,
         "running time vs pairwise distance (128-proc n-body jobs)",
     ),
     "fig10": (
-        lambda s, seed, tr: metric_correlation.run(s, seed),
+        lambda s, seed, tr, j, c: metric_correlation.run(s, seed, jobs=j, cache=c),
         metric_correlation.report_fig10,
         "running time vs average message distance (same jobs)",
     ),
     "fig11": (
-        lambda s, seed, tr: fig11_contiguity.run(s, seed),
+        lambda s, seed, tr, j, c: fig11_contiguity.run(s, seed, jobs=j, cache=c),
         fig11_contiguity.report,
         "percent contiguous & average components table",
     ),
     # Extensions beyond the paper's evaluation (DESIGN.md section 4).
     "hybrid": (
-        lambda s, seed, tr: hybrid_workload.run(s, seed),
+        lambda s, seed, tr, j, c: hybrid_workload.run(s, seed, jobs=j, cache=c),
         hybrid_workload.report,
         "EXTENSION: pattern-dispatching hybrid on a mixed workload",
     ),
     "contiguous": (
-        lambda s, seed, tr: contiguous_baseline.run(s, seed),
+        lambda s, seed, tr, j, c: contiguous_baseline.run(s, seed, jobs=j, cache=c),
         contiguous_baseline.report,
         "EXTENSION: convex-allocation baseline vs noncontiguous",
     ),
@@ -143,6 +155,23 @@ def main(argv: list[str] | None = None) -> int:
         help="SWF trace file to use instead of the synthetic workload "
         "(fig7/fig8 only)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the trace-driven experiment grids "
+        "(default: 1 = serial; results are identical for any value)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every cell instead of reusing .repro-cache/ artifacts",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result-cache directory (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -156,6 +185,10 @@ def main(argv: list[str] | None = None) -> int:
         print(f"unknown experiment(s): {unknown}; try 'list'", file=sys.stderr)
         return 2
 
+    if args.jobs < 1:
+        print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+
     scale = config.get_scale(args.scale)
     trace = None
     if args.trace is not None:
@@ -163,14 +196,18 @@ def main(argv: list[str] | None = None) -> int:
 
         trace = read_swf(args.trace)
 
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+
     for name in names:
         run_fn, report_fn, _ = EXPERIMENTS[name]
         start = time.perf_counter()
-        result = run_fn(scale, args.seed, trace)
+        result = run_fn(scale, args.seed, trace, args.jobs, cache)
         elapsed = time.perf_counter() - start
         print(f"=== {name} (scale={scale.name}, {elapsed:.1f}s) " + "=" * 30)
         print(report_fn(result))
         print()
+    if cache is not None and cache.hits + cache.misses > 0:
+        print(cache.stats_line())
     return 0
 
 

@@ -14,13 +14,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.tables import format_table
-from repro.core.registry import make_allocator
 from repro.experiments.config import SMALL, Scale
-from repro.mesh.topology import Mesh2D
-from repro.patterns.base import get_pattern
-from repro.sched.simulator import Simulation
-from repro.sched.stats import RunSummary, summarize
-from repro.trace.synthetic import drop_oversized, sdsc_paragon_trace
+from repro.runner import ExperimentSpec, ResultCache, run_many, sweep_specs
+from repro.sched.stats import RunSummary
 
 __all__ = ["run", "report", "ContiguousResult"]
 
@@ -34,37 +30,32 @@ class ContiguousResult:
     utilization: dict[str, float]
 
 
-def run(scale: Scale = SMALL, seed: int | None = None) -> ContiguousResult:
+def run(
+    scale: Scale = SMALL,
+    seed: int | None = None,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+) -> ContiguousResult:
     """Replay the all-to-all trace under both allocation disciplines."""
     if seed is not None:
         scale = scale.with_seed(seed)
-    mesh = Mesh2D(16, 16)
-    jobs = drop_oversized(
-        sdsc_paragon_trace(
-            seed=scale.seed, n_jobs=scale.n_jobs, runtime_scale=scale.runtime_scale
-        ),
-        mesh.n_nodes,
+    specs = sweep_specs(
+        (16, 16),
+        ("all-to-all",),
+        (1.0,),
+        ("contiguous", "hilbert+bf"),
+        seed=scale.seed,
+        n_jobs=scale.n_jobs,
+        runtime_scale=scale.runtime_scale,
+        network=ExperimentSpec.from_network_params(scale.network_params()),
     )
-    out = {}
-    util = {}
-    for name in ("contiguous", "hilbert+bf"):
-        sim = Simulation(
-            mesh,
-            make_allocator(name),
-            get_pattern("all-to-all"),
-            jobs,
-            params=scale.network_params(),
-            seed=scale.seed,
-        )
-        run_result = sim.run()
-        out[name] = summarize(run_result)
-        util[name] = run_result.mean_utilization()
+    contiguous, noncontiguous = run_many(specs, jobs=jobs, cache=cache)
     return ContiguousResult(
-        contiguous=out["contiguous"],
-        noncontiguous=out["hilbert+bf"],
+        contiguous=contiguous.summary,
+        noncontiguous=noncontiguous.summary,
         utilization={
-            "contiguous": util["contiguous"],
-            "noncontiguous": util["hilbert+bf"],
+            "contiguous": contiguous.to_simulation_result().mean_utilization(),
+            "noncontiguous": noncontiguous.to_simulation_result().mean_utilization(),
         },
     )
 

@@ -14,17 +14,23 @@ from __future__ import annotations
 from repro.experiments.config import SMALL, Scale
 from repro.experiments.sweep import SweepResult, report_sweep, run_sweep
 from repro.mesh.topology import Mesh2D
+from repro.runner import ResultCache
 
 __all__ = ["run", "report", "MESH"]
 
 MESH = Mesh2D(16, 22)
 
 
-def run(scale: Scale = SMALL, seed: int | None = None) -> list[SweepResult]:
+def run(
+    scale: Scale = SMALL,
+    seed: int | None = None,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+) -> list[SweepResult]:
     """All three panels of Fig 7 (one SweepResult per pattern)."""
     if seed is not None:
         scale = scale.with_seed(seed)
-    return run_sweep(MESH, scale)
+    return run_sweep(MESH, scale, jobs=jobs, cache=cache)
 
 
 def report(results: list[SweepResult]) -> str:

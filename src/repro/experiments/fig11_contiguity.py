@@ -16,13 +16,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.tables import format_table
-from repro.core.registry import make_allocator
 from repro.experiments.config import SMALL, Scale
-from repro.mesh.topology import Mesh2D
-from repro.patterns.base import get_pattern
-from repro.sched.simulator import Simulation
-from repro.sched.stats import RunSummary, summarize
-from repro.trace.synthetic import drop_oversized, sdsc_paragon_trace
+from repro.runner import ExperimentSpec, ResultCache, run_many, sweep_specs
+from repro.sched.stats import RunSummary
 
 __all__ = ["run", "report", "Fig11Result", "FIG11_ALLOCATORS"]
 
@@ -64,31 +60,26 @@ class Fig11Result:
         return rows
 
 
-def run(scale: Scale = SMALL, seed: int | None = None) -> Fig11Result:
+def run(
+    scale: Scale = SMALL,
+    seed: int | None = None,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+) -> Fig11Result:
     """Run the twelve allocators on the Fig 8 all-to-all load-1.0 cell."""
     if seed is not None:
         scale = scale.with_seed(seed)
-    mesh = Mesh2D(16, 16)
-    jobs = drop_oversized(
-        sdsc_paragon_trace(
-            seed=scale.seed, n_jobs=scale.n_jobs, runtime_scale=scale.runtime_scale
-        ),
-        mesh.n_nodes,
+    specs = sweep_specs(
+        (16, 16),
+        ("all-to-all",),
+        (1.0,),
+        FIG11_ALLOCATORS,
+        seed=scale.seed,
+        n_jobs=scale.n_jobs,
+        runtime_scale=scale.runtime_scale,
+        network=ExperimentSpec.from_network_params(scale.network_params()),
     )
-    params = scale.network_params()
-    cells = []
-    for name in FIG11_ALLOCATORS:
-        sim = Simulation(
-            mesh,
-            make_allocator(name),
-            get_pattern("all-to-all"),
-            jobs,
-            params=params,
-            seed=scale.seed,
-            load_factor=1.0,
-        )
-        cells.append(summarize(sim.run()))
-    return Fig11Result(cells=cells)
+    return Fig11Result(cells=[c.summary for c in run_many(specs, jobs=jobs, cache=cache)])
 
 
 def report(result: Fig11Result) -> str:

@@ -17,15 +17,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.analysis.tables import format_table
-from repro.core.registry import make_allocator
 from repro.experiments.config import SMALL, Scale
 from repro.mesh.topology import Mesh2D
-from repro.patterns.base import get_pattern
-from repro.sched.simulator import Simulation
-from repro.sched.stats import RunSummary, summarize
+from repro.runner import (
+    MIXED_A2A_NBODY,
+    ExperimentSpec,
+    ResultCache,
+    mixed_pattern_selector,
+    run_many,
+    sweep_specs,
+)
+from repro.sched.stats import RunSummary
 from repro.trace.synthetic import drop_oversized, sdsc_paragon_trace
 
 __all__ = ["run", "report", "HybridResult", "COMPETITORS"]
@@ -41,50 +44,38 @@ class HybridResult:
     pattern_split: dict[str, int]
 
 
-def _pattern_selector(seed: int):
-    """Deterministic 50/50 all-to-all / n-body assignment by job id."""
-    a2a = get_pattern("all-to-all")
-    nbody = get_pattern("n-body")
-
-    def select(job):
-        pick = np.random.default_rng(
-            np.random.SeedSequence([seed, 0xAB, job.job_id])
-        ).random()
-        return a2a if pick < 0.5 else nbody
-
-    return select
-
-
-def run(scale: Scale = SMALL, seed: int | None = None) -> HybridResult:
+def run(
+    scale: Scale = SMALL,
+    seed: int | None = None,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+) -> HybridResult:
     """Run the mixed workload under every competitor."""
     if seed is not None:
         scale = scale.with_seed(seed)
     mesh = Mesh2D(16, 16)
-    jobs = drop_oversized(
+    trace = drop_oversized(
         sdsc_paragon_trace(
             seed=scale.seed, n_jobs=scale.n_jobs, runtime_scale=scale.runtime_scale
         ),
         mesh.n_nodes,
     )
-    selector = _pattern_selector(scale.seed)
+    selector = mixed_pattern_selector(scale.seed)
     split: dict[str, int] = {}
-    for job in jobs:
+    for job in trace:
         split[selector(job).name] = split.get(selector(job).name, 0) + 1
 
-    cells = []
-    for name in COMPETITORS:
-        sim = Simulation(
-            mesh,
-            make_allocator(name),
-            selector,
-            jobs,
-            params=scale.network_params(),
-            seed=scale.seed,
-            pattern_label="mixed(a2a+nbody)",
-        )
-        summary = summarize(sim.run())
-        # keep the allocator's registry name for the table
-        cells.append(summary)
+    specs = sweep_specs(
+        mesh.shape,
+        (MIXED_A2A_NBODY,),
+        (1.0,),
+        COMPETITORS,
+        seed=scale.seed,
+        n_jobs=scale.n_jobs,
+        runtime_scale=scale.runtime_scale,
+        network=ExperimentSpec.from_network_params(scale.network_params()),
+    )
+    cells = [c.summary for c in run_many(specs, jobs=jobs, cache=cache)]
     return HybridResult(cells=cells, pattern_split=split)
 
 

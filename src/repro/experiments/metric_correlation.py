@@ -27,13 +27,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.correlation import LinearFit, linear_fit, pearson_r
-from repro.core.registry import make_allocator
 from repro.experiments.config import SMALL, Scale
 from repro.experiments.sweep import PAPER_ALLOCATORS
 from repro.mesh.topology import Mesh2D
-from repro.patterns.base import get_pattern
+from repro.runner import ExperimentSpec, ResultCache, run_many, sweep_specs
 from repro.sched.job import Job
-from repro.sched.simulator import Simulation
 from repro.trace.synthetic import drop_oversized, sdsc_paragon_trace
 
 __all__ = ["run", "report_fig9", "report_fig10", "CorrelationResult", "TARGET_SIZE"]
@@ -86,27 +84,31 @@ def _boosted_trace(scale: Scale, mesh: Mesh2D) -> list[Job]:
     return out
 
 
-def run(scale: Scale = SMALL, seed: int | None = None) -> CorrelationResult:
+def run(
+    scale: Scale = SMALL,
+    seed: int | None = None,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+) -> CorrelationResult:
     """Run the pooled n-body simulations and collect both scatters."""
     if seed is not None:
         scale = scale.with_seed(seed)
     mesh = Mesh2D(16, 16)
-    jobs = _boosted_trace(scale, mesh)
-    params = scale.network_params()
-
+    trace = _boosted_trace(scale, mesh)
+    # The boosted trace differs from the synthetic default, so the specs
+    # carry it explicitly (it is part of the cache key).
+    specs = sweep_specs(
+        mesh.shape,
+        ("n-body",),
+        (1.0,),
+        PAPER_ALLOCATORS,
+        seed=scale.seed,
+        trace=ExperimentSpec.from_trace(trace),
+        network=ExperimentSpec.from_network_params(scale.network_params()),
+    )
     pairwise, message, tpm = [], [], []
-    for alloc_name in PAPER_ALLOCATORS:
-        sim = Simulation(
-            mesh,
-            make_allocator(alloc_name),
-            get_pattern("n-body"),
-            jobs,
-            params=params,
-            seed=scale.seed,
-            load_factor=1.0,
-        )
-        result = sim.run()
-        for job in result.jobs:
+    for cell in run_many(specs, jobs=jobs, cache=cache):
+        for job in cell.jobs:
             if job.size != TARGET_SIZE:
                 continue
             pairwise.append(job.pairwise_hops)

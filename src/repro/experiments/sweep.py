@@ -4,22 +4,30 @@ A sweep runs every (allocator, load factor) cell for one mesh and one
 communication pattern on the same trace, exactly as the paper's graphs are
 organised: the x-axis is the load factor ("decreasing"), the y-axis the
 mean job response time, one series per allocation strategy.
+
+Cells are independent, so the sweep rides on the parallel experiment
+engine (:mod:`repro.runner`): ``jobs=N`` fans the grid out over worker
+processes and ``cache=ResultCache(...)`` makes repeated sweeps free.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.registry import make_allocator
 from repro.experiments.config import Scale
 from repro.mesh.topology import Mesh2D
-from repro.patterns.base import get_pattern
-from repro.sched.simulator import Simulation
-from repro.sched.stats import RunSummary, summarize
-from repro.trace.synthetic import apply_load_factor, drop_oversized, sdsc_paragon_trace
+from repro.runner import ExperimentSpec, ResultCache, run_many, sweep_specs
 from repro.sched.job import Job
+from repro.sched.stats import RunSummary
 
-__all__ = ["SweepResult", "run_sweep", "report_sweep", "PAPER_ALLOCATORS", "PAPER_PATTERNS"]
+__all__ = [
+    "SweepResult",
+    "build_sweep_specs",
+    "run_sweep",
+    "report_sweep",
+    "PAPER_ALLOCATORS",
+    "PAPER_PATTERNS",
+]
 
 #: The nine strategies of Figs 7/8, in the paper's legend order.
 PAPER_ALLOCATORS = (
@@ -63,36 +71,55 @@ class SweepResult:
         return [c.allocator for c in sorted(cells, key=lambda c: getattr(c, metric))]
 
 
+def build_sweep_specs(
+    mesh: Mesh2D,
+    scale: Scale,
+    patterns: tuple[str, ...] = PAPER_PATTERNS,
+    allocators: tuple[str, ...] = PAPER_ALLOCATORS,
+    trace: list[Job] | None = None,
+) -> list[ExperimentSpec]:
+    """The figure's spec grid, in canonical cell order (pattern-major)."""
+    return sweep_specs(
+        mesh.shape,
+        patterns,
+        scale.loads,
+        allocators,
+        seed=scale.seed,
+        n_jobs=scale.n_jobs,
+        runtime_scale=scale.runtime_scale,
+        trace=None if trace is None else ExperimentSpec.from_trace(trace),
+        network=ExperimentSpec.from_network_params(scale.network_params()),
+    )
+
+
 def run_sweep(
     mesh: Mesh2D,
     scale: Scale,
     patterns: tuple[str, ...] = PAPER_PATTERNS,
     allocators: tuple[str, ...] = PAPER_ALLOCATORS,
     trace: list[Job] | None = None,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
 ) -> list[SweepResult]:
-    """Run the full panel grid for one mesh; one SweepResult per pattern."""
-    base = trace if trace is not None else sdsc_paragon_trace(
-        seed=scale.seed, n_jobs=scale.n_jobs, runtime_scale=scale.runtime_scale
-    )
-    base = drop_oversized(base, mesh.n_nodes)
-    params = scale.network_params()
+    """Run the full panel grid for one mesh; one SweepResult per pattern.
+
+    ``jobs`` parallelises the grid over worker processes; ``cache`` reuses
+    previously computed cells.  Results are cell-for-cell identical for
+    any ``jobs`` value (each cell is deterministic in its spec).
+    """
+    specs = build_sweep_specs(mesh, scale, patterns, allocators, trace)
+    cells = run_many(specs, jobs=jobs, cache=cache)
+    per_pattern = len(scale.loads) * len(allocators)
     results = []
-    for pattern_name in patterns:
-        result = SweepResult(mesh_shape=mesh.shape, pattern=pattern_name)
-        for load in scale.loads:
-            jobs = apply_load_factor(base, load)
-            for alloc_name in allocators:
-                sim = Simulation(
-                    mesh,
-                    make_allocator(alloc_name),
-                    get_pattern(pattern_name),
-                    jobs,
-                    params=params,
-                    seed=scale.seed,
-                    load_factor=load,
-                )
-                result.cells.append(summarize(sim.run()))
-        results.append(result)
+    for p, pattern_name in enumerate(patterns):
+        chunk = cells[p * per_pattern : (p + 1) * per_pattern]
+        results.append(
+            SweepResult(
+                mesh_shape=mesh.shape,
+                pattern=pattern_name,
+                cells=[c.summary for c in chunk],
+            )
+        )
     return results
 
 

@@ -1,0 +1,125 @@
+"""On-disk artifact cache for experiment cells.
+
+One JSON file per cell under the cache root (default ``.repro-cache/``,
+overridable via the ``REPRO_CACHE_DIR`` environment variable), named by
+the spec's SHA-256 cache key.  The stored artifact embeds the full spec,
+so a hit is validated against the requesting spec -- a stale or colliding
+file degrades to a miss instead of returning wrong numbers.  Writes go
+through a temp file + :func:`os.replace` so concurrent runs never observe
+a torn artifact.  The trace-driven simulator pattern follows the
+fair-queueing exemplar in SNIPPETS.md, which persists per-trace results
+to JSON so reruns are free.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections.abc import Iterator
+from pathlib import Path
+
+from repro.runner.spec import CellResult, ExperimentSpec
+
+__all__ = ["ResultCache", "default_cache_root", "CACHE_FORMAT"]
+
+#: Artifact schema version; bump to invalidate old caches wholesale.
+CACHE_FORMAT = 1
+
+#: Default cache directory name (created in the working directory).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def default_cache_root() -> Path:
+    """Cache root: ``$REPRO_CACHE_DIR`` if set, else ``./.repro-cache``."""
+    return Path(os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR))
+
+
+class ResultCache:
+    """Spec-keyed JSON store with hit/miss accounting.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created lazily on first write).  ``None`` uses
+        :func:`default_cache_root`.
+    """
+
+    def __init__(self, root: str | Path | None = None):
+        self.root = Path(root) if root is not None else default_cache_root()
+        self.hits = 0
+        self.misses = 0
+
+    # -- key/path ------------------------------------------------------
+    def path_for(self, spec: ExperimentSpec) -> Path:
+        """Artifact path for ``spec``."""
+        return self.root / f"{spec.cache_key()}.json"
+
+    # -- read ----------------------------------------------------------
+    def get(self, spec: ExperimentSpec) -> CellResult | None:
+        """Cached result for ``spec``, or ``None`` (counted as a miss)."""
+        result = self._load(self.path_for(spec), expect=spec)
+        if result is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return result
+
+    def _load(self, path: Path, expect: ExperimentSpec | None = None) -> CellResult | None:
+        try:
+            with open(path) as fh:
+                data = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if data.get("format") != CACHE_FORMAT:
+            return None
+        try:
+            result = CellResult.from_dict(data, cached=True)
+        except (KeyError, TypeError, ValueError):
+            return None
+        if expect is not None and result.spec != expect:
+            return None
+        return result
+
+    # -- write ---------------------------------------------------------
+    def put(self, result: CellResult) -> Path:
+        """Persist ``result``; returns the artifact path."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(result.spec)
+        payload = {"format": CACHE_FORMAT, **result.to_dict()}
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "w") as fh:
+            json.dump(payload, fh)
+        os.replace(tmp, path)
+        return path
+
+    # -- maintenance / bulk access -------------------------------------
+    def __len__(self) -> int:
+        """Number of artifacts currently on disk."""
+        return sum(1 for _ in self._artifact_paths())
+
+    def _artifact_paths(self) -> Iterator[Path]:
+        if not self.root.is_dir():
+            return
+        yield from sorted(self.root.glob("*.json"))
+
+    def iter_results(self) -> Iterator[CellResult]:
+        """Every readable artifact in the cache (unreadable files skipped)."""
+        for path in self._artifact_paths():
+            result = self._load(path)
+            if result is not None:
+                yield result
+
+    def clear(self) -> int:
+        """Delete all artifacts; returns how many were removed."""
+        removed = 0
+        for path in list(self._artifact_paths()):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def stats_line(self) -> str:
+        """One-line accounting summary (printed by the CLI)."""
+        return f"[cache] hits={self.hits} misses={self.misses} dir={self.root}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ResultCache(root={str(self.root)!r}, hits={self.hits}, misses={self.misses})"

@@ -1,0 +1,186 @@
+"""Cell execution and the multiprocessing orchestrator.
+
+:func:`run_cell` turns one :class:`~repro.runner.spec.ExperimentSpec`
+into a :class:`~repro.runner.spec.CellResult`, fully deterministically:
+the spec carries the seed, the workload parameters and the cell
+coordinates, so the same spec always produces bit-identical results --
+whether it runs in-process, in a worker, or was loaded from the cache.
+
+:func:`run_many` is the fan-out: cache lookups first, then duplicate
+specs coalesced, then the remaining cells dispatched to a
+``multiprocessing.Pool`` in chunks (``jobs <= 1`` runs serially
+in-process, which is also the fallback the determinism tests compare
+against).  Results always come back in spec order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from collections.abc import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.core.registry import make_allocator
+from repro.mesh.topology import Mesh2D
+from repro.patterns.base import get_pattern
+from repro.runner.cache import ResultCache
+from repro.runner.spec import CellResult, ExperimentSpec
+from repro.sched.simulator import Simulation
+from repro.sched.stats import summarize
+
+__all__ = [
+    "run_cell",
+    "run_many",
+    "sweep_specs",
+    "MIXED_A2A_NBODY",
+    "mixed_pattern_selector",
+]
+
+#: Pattern sentinel for the hybrid experiment's 50/50 all-to-all / n-body
+#: mix; specs are name-keyed, so the mixed workload needs a stable name.
+MIXED_A2A_NBODY = "mixed(a2a+nbody)"
+
+
+def mixed_pattern_selector(seed: int) -> Callable:
+    """Deterministic 50/50 all-to-all / n-body assignment by job id."""
+    a2a = get_pattern("all-to-all")
+    nbody = get_pattern("n-body")
+
+    def select(job):
+        pick = np.random.default_rng(
+            np.random.SeedSequence([seed, 0xAB, job.job_id])
+        ).random()
+        return a2a if pick < 0.5 else nbody
+
+    return select
+
+
+def run_cell(spec: ExperimentSpec) -> CellResult:
+    """Execute one cell; deterministic in the spec alone."""
+    start = time.perf_counter()
+    if spec.pattern == MIXED_A2A_NBODY:
+        pattern = mixed_pattern_selector(spec.seed)
+        label = MIXED_A2A_NBODY
+    else:
+        pattern = get_pattern(spec.pattern)
+        label = None
+    sim = Simulation(
+        Mesh2D(*spec.mesh_shape),
+        make_allocator(spec.allocator),
+        pattern,
+        spec.build_jobs(),
+        params=spec.network_params(),
+        seed=spec.seed,
+        load_factor=spec.load,
+        pattern_label=label,
+        scheduler=spec.scheduler,
+    )
+    result = sim.run()
+    return CellResult(
+        spec=spec,
+        summary=summarize(result),
+        jobs=result.jobs,
+        elapsed=time.perf_counter() - start,
+    )
+
+
+def _worker(spec: ExperimentSpec) -> CellResult:
+    """Pool entry point (top-level so it pickles under spawn too)."""
+    return run_cell(spec)
+
+
+def run_many(
+    specs: Iterable[ExperimentSpec],
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    progress: Callable[[int, int, CellResult], None] | None = None,
+) -> list[CellResult]:
+    """Run every spec, in parallel, reusing cached cells.
+
+    Parameters
+    ----------
+    specs:
+        The grid cells; the returned list is index-aligned with it.
+    jobs:
+        Worker processes.  ``<= 1`` runs serially in the calling process
+        (same results, by construction -- see the determinism tests).
+    cache:
+        Optional :class:`ResultCache`; hits skip computation, misses are
+        stored after computing.
+    progress:
+        Optional ``callback(done, total, cell)`` fired as cells resolve
+        (cache hits first, then computed cells in completion order).
+    """
+    spec_list = list(specs)
+    total = len(spec_list)
+    results: list[CellResult | None] = [None] * total
+    done = 0
+
+    def resolve(index: int, cell: CellResult) -> None:
+        nonlocal done
+        results[index] = cell
+        done += 1
+        if progress is not None:
+            progress(done, total, cell)
+
+    # Cache pass + duplicate coalescing: identical specs compute once.
+    pending: dict[ExperimentSpec, list[int]] = {}
+    for i, spec in enumerate(spec_list):
+        hit = cache.get(spec) if cache is not None else None
+        if hit is not None:
+            resolve(i, hit)
+        else:
+            pending.setdefault(spec, []).append(i)
+
+    def fan_out(cell: CellResult) -> None:
+        if cache is not None:
+            cache.put(cell)
+        for i in pending[cell.spec]:
+            resolve(i, cell)
+
+    work = list(pending)
+    n_workers = max(1, min(jobs, len(work)))
+    if n_workers > 1:
+        # Chunked dispatch amortises pickling without starving workers.
+        chunksize = max(1, len(work) // (n_workers * 4))
+        with multiprocessing.Pool(processes=n_workers) as pool:
+            for cell in pool.imap_unordered(_worker, work, chunksize=chunksize):
+                fan_out(cell)
+    else:
+        for spec in work:
+            fan_out(run_cell(spec))
+
+    assert all(r is not None for r in results)
+    return results  # type: ignore[return-value]
+
+
+def sweep_specs(
+    mesh_shape: tuple[int, int],
+    patterns: Sequence[str],
+    loads: Sequence[float],
+    allocators: Sequence[str],
+    seed: int,
+    n_jobs: int = 0,
+    runtime_scale: float = 1.0,
+    trace=None,
+    network=None,
+) -> list[ExperimentSpec]:
+    """The figure-grid spec list, in the drivers' canonical cell order
+    (pattern-major, then load, then allocator)."""
+    return [
+        ExperimentSpec(
+            mesh_shape=tuple(mesh_shape),
+            pattern=pattern,
+            allocator=allocator,
+            load=load,
+            seed=seed,
+            n_jobs=n_jobs,
+            runtime_scale=runtime_scale,
+            trace=trace,
+            network=network,
+        )
+        for pattern in patterns
+        for load in loads
+        for allocator in allocators
+    ]

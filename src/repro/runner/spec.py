@@ -1,0 +1,261 @@
+"""Experiment cell specifications and their serializable results.
+
+An :class:`ExperimentSpec` pins down everything one simulation cell needs:
+the mesh, the communication pattern, the allocator, the load factor, the
+seed, and the workload (either the synthetic-trace parameters or an
+explicit base trace).  Specs are frozen, hashable (usable as dict keys and
+dedup keys) and round-trip through JSON, which is what makes both the
+multiprocessing fan-out and the on-disk cache possible: workers rebuild
+the whole cell from the spec alone, and the cache keys artifacts by the
+SHA-256 of the spec's canonical JSON form.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, fields
+
+from repro.network.fluid import NetworkParams
+from repro.sched.job import Job, JobResult
+from repro.sched.stats import RunSummary
+
+__all__ = [
+    "ExperimentSpec",
+    "CellResult",
+    "summary_to_dict",
+    "summary_from_dict",
+]
+
+#: Serialized base-trace row: (job_id, arrival, size, runtime).
+TraceRow = tuple[int, float, int, float]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One (mesh, pattern, allocator, load, seed, workload) grid cell.
+
+    Attributes
+    ----------
+    mesh_shape:
+        ``(width, height)`` of the 2D mesh.
+    pattern:
+        Registry name of the communication pattern (or the engine's
+        ``"mixed(a2a+nbody)"`` sentinel for the hybrid-workload mix).
+    allocator:
+        Registry name of the allocation strategy.
+    load:
+        Load factor contracting arrival times (Section 3.2's knob).
+    seed:
+        Base seed for trace generation and per-job pattern randomness.
+    n_jobs / runtime_scale:
+        Synthetic-trace parameters (ignored when ``trace`` is given).
+    trace:
+        Optional explicit base trace as ``(job_id, arrival, size,
+        runtime)`` tuples, *before* load contraction -- used for SWF
+        traces and the boosted Fig 9/10 workload.
+    network:
+        Non-default fluid-network parameters as sorted ``(name, value)``
+        pairs (see :meth:`from_network_params`); ``None`` means the
+        default :class:`~repro.network.fluid.NetworkParams`.
+    scheduler:
+        ``"fcfs"`` (the paper) or ``"easy"`` (backfilling extension).
+    """
+
+    mesh_shape: tuple[int, int]
+    pattern: str
+    allocator: str
+    load: float
+    seed: int
+    n_jobs: int = 0
+    runtime_scale: float = 1.0
+    trace: tuple[TraceRow, ...] | None = None
+    network: tuple[tuple[str, float | None], ...] | None = None
+    scheduler: str = "fcfs"
+
+    def __post_init__(self) -> None:
+        # Normalise list inputs so hashing/equality always work.
+        object.__setattr__(self, "mesh_shape", tuple(self.mesh_shape))
+        if self.trace is not None:
+            object.__setattr__(
+                self, "trace", tuple(tuple(row) for row in self.trace)
+            )
+        if self.network is not None:
+            object.__setattr__(
+                self, "network", tuple(tuple(kv) for kv in self.network)
+            )
+        if len(self.mesh_shape) != 2:
+            raise ValueError(f"mesh_shape must be (w, h), got {self.mesh_shape!r}")
+        if self.load <= 0:
+            raise ValueError(f"load must be positive, got {self.load!r}")
+        if self.trace is None and self.n_jobs < 1:
+            raise ValueError("specs without an explicit trace need n_jobs >= 1")
+
+    # -- workload ------------------------------------------------------
+    def build_jobs(self) -> list[Job]:
+        """Materialise the cell's job list (deterministic in the spec).
+
+        Mirrors the sweep drivers exactly: base trace, then
+        :func:`~repro.trace.synthetic.drop_oversized` for the mesh, then
+        :func:`~repro.trace.synthetic.apply_load_factor`.
+        """
+        from repro.trace.synthetic import (
+            apply_load_factor,
+            drop_oversized,
+            sdsc_paragon_trace,
+        )
+
+        if self.trace is not None:
+            base = [Job(int(j), float(a), int(s), float(r)) for j, a, s, r in self.trace]
+        else:
+            base = sdsc_paragon_trace(
+                seed=self.seed, n_jobs=self.n_jobs, runtime_scale=self.runtime_scale
+            )
+        w, h = self.mesh_shape
+        return apply_load_factor(drop_oversized(base, w * h), self.load)
+
+    # -- network parameters --------------------------------------------
+    def network_params(self) -> NetworkParams:
+        """The cell's fluid-network parameters."""
+        if self.network is None:
+            return NetworkParams()
+        return NetworkParams(**dict(self.network))
+
+    @staticmethod
+    def from_network_params(params: NetworkParams) -> tuple | None:
+        """Spec encoding of ``params``.
+
+        Defaults collapse to ``None`` so specs (and therefore cache keys)
+        are unchanged by merely passing the standard parameters; any
+        deviation becomes part of the key and keeps artifacts distinct.
+        """
+        if params == NetworkParams():
+            return None
+        return tuple(sorted(asdict(params).items()))
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready dict (tuples become lists)."""
+        return {
+            "mesh_shape": list(self.mesh_shape),
+            "pattern": self.pattern,
+            "allocator": self.allocator,
+            "load": self.load,
+            "seed": self.seed,
+            "n_jobs": self.n_jobs,
+            "runtime_scale": self.runtime_scale,
+            "trace": None if self.trace is None else [list(r) for r in self.trace],
+            "network": None if self.network is None else [list(kv) for kv in self.network],
+            "scheduler": self.scheduler,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentSpec":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            mesh_shape=tuple(data["mesh_shape"]),
+            pattern=data["pattern"],
+            allocator=data["allocator"],
+            load=data["load"],
+            seed=data["seed"],
+            n_jobs=data.get("n_jobs", 0),
+            runtime_scale=data.get("runtime_scale", 1.0),
+            trace=None
+            if data.get("trace") is None
+            else tuple(tuple(r) for r in data["trace"]),
+            network=None
+            if data.get("network") is None
+            else tuple(tuple(kv) for kv in data["network"]),
+            scheduler=data.get("scheduler", "fcfs"),
+        )
+
+    def cache_key(self) -> str:
+        """SHA-256 hex digest of the canonical JSON form."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    @staticmethod
+    def from_trace(jobs: list[Job]) -> tuple[TraceRow, ...]:
+        """Serialize an explicit base trace for the ``trace`` field."""
+        return tuple((j.job_id, j.arrival, j.size, j.runtime) for j in jobs)
+
+
+# ----------------------------------------------------------------------
+# RunSummary / JobResult serialization helpers
+# ----------------------------------------------------------------------
+
+def summary_to_dict(summary: RunSummary) -> dict:
+    """Field dict of a :class:`~repro.sched.stats.RunSummary`."""
+    out = {f.name: getattr(summary, f.name) for f in fields(RunSummary)}
+    out["mesh_shape"] = list(out["mesh_shape"])
+    return out
+
+
+def summary_from_dict(data: dict) -> RunSummary:
+    """Inverse of :func:`summary_to_dict`."""
+    data = dict(data)
+    data["mesh_shape"] = tuple(data["mesh_shape"])
+    return RunSummary(**data)
+
+
+_JOB_FIELDS = [f.name for f in fields(JobResult)]
+
+
+def _job_to_list(job: JobResult) -> list:
+    return [getattr(job, name) for name in _JOB_FIELDS]
+
+
+def _job_from_list(values: list) -> JobResult:
+    return JobResult(**dict(zip(_JOB_FIELDS, values)))
+
+
+@dataclass
+class CellResult:
+    """Outcome of one executed (or cache-loaded) spec.
+
+    ``summary`` carries the aggregate numbers the figures plot; ``jobs``
+    the per-job records (needed by the Fig 9/10 scatter and the
+    utilization analysis).  ``cached`` marks cache hits; ``elapsed`` is
+    the compute wall time in seconds (0.0 for hits).
+    """
+
+    spec: ExperimentSpec
+    summary: RunSummary
+    jobs: list[JobResult] = field(default_factory=list)
+    cached: bool = False
+    elapsed: float = 0.0
+
+    def to_simulation_result(self):
+        """Rebuild a :class:`~repro.sched.simulator.SimulationResult` view
+        (gives access to ``mean_utilization`` etc. for cached cells)."""
+        from repro.sched.simulator import SimulationResult
+
+        return SimulationResult(
+            allocator=self.summary.allocator,
+            pattern=self.summary.pattern,
+            mesh_shape=self.summary.mesh_shape,
+            load_factor=self.summary.load_factor,
+            jobs=list(self.jobs),
+            makespan=self.summary.makespan,
+            scheduler=self.spec.scheduler,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready artifact (what the cache stores)."""
+        return {
+            "spec": self.spec.to_dict(),
+            "summary": summary_to_dict(self.summary),
+            "jobs": [_job_to_list(j) for j in self.jobs],
+            "elapsed": self.elapsed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict, cached: bool = False) -> "CellResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            spec=ExperimentSpec.from_dict(data["spec"]),
+            summary=summary_from_dict(data["summary"]),
+            jobs=[_job_from_list(v) for v in data["jobs"]],
+            cached=cached,
+            elapsed=data.get("elapsed", 0.0),
+        )

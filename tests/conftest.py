@@ -45,6 +45,16 @@ def rng() -> np.random.Generator:
     return np.random.default_rng(12345)
 
 
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Point the experiment-result cache at a per-test directory.
+
+    Keeps CLI invocations (which cache by default) from writing
+    ``.repro-cache/`` into the repository during the test run.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+
+
 def checkerboard_occupy(machine: Machine, job_id: int = 999) -> None:
     """Occupy every other node (maximal fragmentation helper)."""
     nodes = [n for n in range(machine.mesh.n_nodes) if n % 2 == 0]

@@ -4,7 +4,9 @@ import io
 
 import pytest
 
+from repro.experiments import config
 from repro.experiments.__main__ import EXPERIMENTS, main
+from repro.runner import default_cache_root
 
 
 class TestCli:
@@ -47,3 +49,73 @@ class TestCli:
         assert main(["fig7", "--trace", str(path)]) == 0
         out = capsys.readouterr().out
         assert "hilbert+bf" in out
+
+
+@pytest.fixture
+def tiny_scale(monkeypatch):
+    """Make every --scale resolve to a tiny workload for fast CLI runs."""
+    tiny = config.Scale(
+        name="small",
+        n_jobs=12,
+        runtime_scale=0.01,
+        loads=(1.0,),
+        fig1_repetitions=1,
+        fig1_samples=4,
+        fig9_min_samples=2,
+        seed=2,
+    )
+    monkeypatch.setattr(config, "get_scale", lambda name: tiny)
+    return tiny
+
+
+def _report_body(out: str) -> str:
+    """CLI output minus timing header and cache-stats lines."""
+    return "\n".join(
+        line
+        for line in out.splitlines()
+        if not line.startswith("===") and not line.startswith("[cache]")
+    )
+
+
+class TestEngineFlags:
+    def test_jobs_flag_gives_identical_results(self, tiny_scale, capsys):
+        assert main(["fig11", "--no-cache", "--jobs", "1"]) == 0
+        serial = _report_body(capsys.readouterr().out)
+        assert main(["fig11", "--no-cache", "--jobs", "2"]) == 0
+        parallel = _report_body(capsys.readouterr().out)
+        assert parallel == serial
+        assert "Algorithm" in serial
+
+    def test_cache_hits_on_second_run(self, tiny_scale, capsys):
+        """The second identical invocation must recompute nothing."""
+        assert main(["fig11"]) == 0
+        first = capsys.readouterr().out
+        assert "hits=0" in first and "misses=12" in first
+        assert main(["fig11"]) == 0
+        second = capsys.readouterr().out
+        assert "hits=12" in second and "misses=0" in second
+        assert _report_body(second) == _report_body(first)
+        assert len(list(default_cache_root().glob("*.json"))) == 12
+
+    def test_no_cache_flag_disables_artifacts(self, tiny_scale, capsys):
+        assert main(["fig11", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "[cache]" not in out
+        assert not default_cache_root().exists()
+
+    def test_cache_dir_flag_overrides_default(self, tiny_scale, capsys, tmp_path):
+        custom = tmp_path / "elsewhere"
+        assert main(["fig11", "--cache-dir", str(custom)]) == 0
+        out = capsys.readouterr().out
+        assert f"dir={custom}" in out
+        assert len(list(custom.glob("*.json"))) == 12
+        assert not default_cache_root().exists()
+
+    def test_invalid_jobs_rejected(self, capsys):
+        assert main(["fig11", "--jobs", "0"]) == 2
+
+    def test_cheap_experiments_ignore_engine_flags(self, tiny_scale, capsys):
+        assert main(["fig5", "--jobs", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "ring subphases: 7" in out
+        assert "[cache]" not in out  # fig5 never touches the engine cache

@@ -1,0 +1,82 @@
+"""Golden-snapshot regression test for a small-scale Fig 7 panel.
+
+Pins the per-cell mean response times of the all-to-all panel (16x22
+mesh, ``small`` scale, seed 1) against a checked-in JSON snapshot so
+future refactors cannot silently shift the paper's numbers.  The
+simulation is deterministic, so the tolerance only absorbs
+floating-point noise across numpy versions/platforms.
+
+Regenerate after an *intentional* behaviour change with::
+
+    PYTHONPATH=src python tests/experiments/test_golden_fig7.py --regen
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import SMALL
+from repro.experiments.fig07_sweep16x22 import MESH
+from repro.experiments.sweep import PAPER_ALLOCATORS, run_sweep
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "fig7_small_golden.json"
+
+#: Relative tolerance for float noise; the run itself is deterministic.
+RTOL = 1e-6
+
+PANEL_KWARGS = dict(patterns=("all-to-all",), allocators=PAPER_ALLOCATORS)
+
+
+def compute_panel() -> dict[str, float]:
+    """``"allocator@load" -> mean_response`` for the snapshot panel."""
+    panel = run_sweep(MESH, SMALL, **PANEL_KWARGS)[0]
+    return {
+        f"{cell.allocator}@{cell.load_factor:g}": cell.mean_response
+        for cell in panel.cells
+    }
+
+
+def test_fig7_small_panel_matches_golden_snapshot():
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert golden["mesh"] == list(MESH.shape)
+    assert golden["scale"] == SMALL.name and golden["seed"] == SMALL.seed
+
+    actual = compute_panel()
+    expected = golden["mean_response"]
+    assert set(actual) == set(expected), "cell grid changed shape"
+    drifted = {
+        key: (actual[key], expected[key])
+        for key in expected
+        if actual[key] != pytest.approx(expected[key], rel=RTOL)
+    }
+    assert not drifted, (
+        "mean response times drifted from the golden Fig 7 panel "
+        f"(intentional? regenerate with --regen): {drifted}"
+    )
+
+
+def _regenerate() -> None:
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "figure": "fig7",
+        "panel": "all-to-all",
+        "mesh": list(MESH.shape),
+        "scale": SMALL.name,
+        "seed": SMALL.seed,
+        "loads": list(SMALL.loads),
+        "allocators": list(PAPER_ALLOCATORS),
+        "mean_response": compute_panel(),
+    }
+    GOLDEN_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH} ({len(payload['mean_response'])} cells)")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" not in sys.argv:
+        sys.exit("refusing to regenerate without --regen")
+    _regenerate()

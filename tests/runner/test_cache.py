@@ -1,0 +1,83 @@
+"""Tests for the on-disk result cache."""
+
+import json
+
+from repro.runner import ExperimentSpec, ResultCache, run_cell
+from repro.runner.cache import CACHE_FORMAT, default_cache_root
+
+
+def _spec(**overrides) -> ExperimentSpec:
+    base = dict(
+        mesh_shape=(8, 8),
+        pattern="ring",
+        allocator="hilbert+bf",
+        load=1.0,
+        seed=5,
+        n_jobs=15,
+        runtime_scale=0.01,
+    )
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        spec = _spec()
+        assert cache.get(spec) is None
+        cell = run_cell(spec)
+        path = cache.put(cell)
+        assert path.is_file()
+        hit = cache.get(spec)
+        assert hit is not None and hit.cached
+        assert hit.summary == cell.summary
+        assert hit.jobs == cell.jobs
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_different_spec_misses(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        cache.put(run_cell(_spec()))
+        assert cache.get(_spec(load=0.5)) is None
+        assert cache.get(_spec(allocator="mc")) is None
+
+    def test_corrupt_artifact_degrades_to_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        spec = _spec()
+        path = cache.put(run_cell(spec))
+        path.write_text("{ not json")
+        assert cache.get(spec) is None
+
+    def test_format_version_mismatch_is_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        spec = _spec()
+        path = cache.put(run_cell(spec))
+        data = json.loads(path.read_text())
+        data["format"] = CACHE_FORMAT + 1
+        path.write_text(json.dumps(data))
+        assert cache.get(spec) is None
+
+    def test_len_iter_clear(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        assert len(cache) == 0
+        assert list(cache.iter_results()) == []
+        specs = [_spec(), _spec(load=0.5), _spec(allocator="mc")]
+        for spec in specs:
+            cache.put(run_cell(spec))
+        assert len(cache) == 3
+        loaded = {cell.spec for cell in cache.iter_results()}
+        assert loaded == set(specs)
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+    def test_default_root_honours_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-cache"))
+        assert default_cache_root() == tmp_path / "env-cache"
+        assert ResultCache().root == tmp_path / "env-cache"
+        monkeypatch.delenv("REPRO_CACHE_DIR")
+        assert str(default_cache_root()) == ".repro-cache"
+
+    def test_stats_line(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        cache.get(_spec())
+        assert "hits=0" in cache.stats_line()
+        assert "misses=1" in cache.stats_line()

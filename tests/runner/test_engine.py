@@ -1,0 +1,141 @@
+"""Tests for run_cell / run_many: determinism, caching, fan-out."""
+
+import pytest
+
+from repro.experiments.config import Scale
+from repro.experiments.sweep import build_sweep_specs, run_sweep
+from repro.mesh.topology import Mesh2D
+from repro.runner import (
+    MIXED_A2A_NBODY,
+    ExperimentSpec,
+    ResultCache,
+    run_cell,
+    run_many,
+    sweep_specs,
+)
+from repro.runner import engine as engine_mod
+
+TINY = Scale(
+    name="tiny",
+    n_jobs=30,
+    runtime_scale=0.01,
+    loads=(1.0, 0.4),
+    fig1_repetitions=1,
+    fig1_samples=4,
+    fig9_min_samples=4,
+    seed=2,
+)
+
+GRID = sweep_specs(
+    (8, 8),
+    ("all-to-all",),
+    TINY.loads,
+    ("hilbert+bf", "mc1x1"),
+    seed=TINY.seed,
+    n_jobs=TINY.n_jobs,
+    runtime_scale=TINY.runtime_scale,
+)
+
+
+class TestRunCell:
+    def test_deterministic(self):
+        a, b = run_cell(GRID[0]), run_cell(GRID[0])
+        assert a.summary == b.summary
+        assert a.jobs == b.jobs
+
+    def test_mixed_pattern_sentinel(self):
+        spec = ExperimentSpec(
+            mesh_shape=(8, 8),
+            pattern=MIXED_A2A_NBODY,
+            allocator="hybrid",
+            load=1.0,
+            seed=2,
+            n_jobs=15,
+            runtime_scale=0.01,
+        )
+        cell = run_cell(spec)
+        assert cell.summary.pattern == MIXED_A2A_NBODY
+        assert cell.summary.n_jobs > 0
+
+
+class TestRunMany:
+    def test_parallel_identical_to_serial(self):
+        """The tentpole determinism guarantee: jobs=4 == serial, cell for
+        cell, for the same seeds."""
+        serial = run_many(GRID, jobs=1)
+        parallel = run_many(GRID, jobs=4)
+        assert [c.summary for c in parallel] == [c.summary for c in serial]
+        assert [c.jobs for c in parallel] == [c.jobs for c in serial]
+
+    def test_result_order_matches_spec_order(self):
+        cells = run_many(GRID, jobs=4)
+        assert [c.spec for c in cells] == GRID
+
+    def test_second_run_is_pure_cache_no_recompute(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path / "c")
+        first = run_many(GRID, cache=cache)
+        assert cache.misses == len(GRID)
+        assert not any(c.cached for c in first)
+
+        # Any attempt to compute after warm-up is a test failure.
+        def _explode(spec):
+            raise AssertionError(f"recomputed {spec}")
+
+        monkeypatch.setattr(engine_mod, "run_cell", _explode)
+        second = run_many(GRID, cache=cache)
+        assert all(c.cached for c in second)
+        assert cache.hits == len(GRID)
+        assert [c.summary for c in second] == [c.summary for c in first]
+
+    def test_duplicate_specs_computed_once(self, tmp_path):
+        calls = []
+        cells = run_many(
+            [GRID[0], GRID[0], GRID[1]],
+            progress=lambda done, total, cell: calls.append((done, total)),
+        )
+        assert cells[0].summary == cells[1].summary
+        assert calls == [(1, 3), (2, 3), (3, 3)]
+
+    def test_empty_spec_list(self):
+        assert run_many([]) == []
+
+    def test_cache_survives_parallel_run(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        run_many(GRID, jobs=3, cache=cache)
+        assert len(cache) == len(GRID)
+        warm = ResultCache(tmp_path / "c")
+        again = run_many(GRID, jobs=3, cache=warm)
+        assert warm.hits == len(GRID) and warm.misses == 0
+        assert all(c.cached for c in again)
+
+
+class TestSweepDeterminism:
+    def test_run_sweep_parallel_matches_serial(self):
+        mesh = Mesh2D(8, 8)
+        kwargs = dict(patterns=("all-to-all",), allocators=("hilbert+bf", "mc1x1"))
+        serial = run_sweep(mesh, TINY, **kwargs)
+        parallel = run_sweep(mesh, TINY, jobs=4, **kwargs)
+        assert [r.cells for r in parallel] == [r.cells for r in serial]
+
+    def test_build_sweep_specs_cell_order(self):
+        specs = build_sweep_specs(
+            Mesh2D(8, 8), TINY, patterns=("ring", "all-to-all"), allocators=("mc",)
+        )
+        # pattern-major, then load, then allocator -- the drivers' order
+        assert [(s.pattern, s.load) for s in specs] == [
+            ("ring", 1.0),
+            ("ring", 0.4),
+            ("all-to-all", 1.0),
+            ("all-to-all", 0.4),
+        ]
+
+    def test_sweep_with_cache_matches_uncached(self, tmp_path):
+        mesh = Mesh2D(8, 8)
+        kwargs = dict(patterns=("ring",), allocators=("mc",))
+        cache = ResultCache(tmp_path / "c")
+        uncached = run_sweep(mesh, TINY, **kwargs)
+        warmed = run_sweep(mesh, TINY, cache=cache, **kwargs)
+        cached = run_sweep(mesh, TINY, cache=cache, **kwargs)
+        assert warmed[0].cells == uncached[0].cells
+        assert cached[0].cells == uncached[0].cells
+        assert cache.hits == len(warmed[0].cells)

@@ -1,0 +1,126 @@
+"""Tests for ExperimentSpec / CellResult serialization and hashing."""
+
+import json
+
+import pytest
+
+from repro.runner import ExperimentSpec, run_cell
+from repro.runner.spec import CellResult, summary_from_dict, summary_to_dict
+from repro.sched.job import Job
+from repro.trace.synthetic import apply_load_factor, drop_oversized, sdsc_paragon_trace
+
+SPEC = ExperimentSpec(
+    mesh_shape=(8, 8),
+    pattern="ring",
+    allocator="hilbert+bf",
+    load=0.6,
+    seed=3,
+    n_jobs=20,
+    runtime_scale=0.01,
+)
+
+
+class TestExperimentSpec:
+    def test_hashable_and_equal(self):
+        clone = ExperimentSpec.from_dict(SPEC.to_dict())
+        assert clone == SPEC
+        assert hash(clone) == hash(SPEC)
+        assert len({SPEC, clone}) == 1
+
+    def test_list_inputs_normalised(self):
+        spec = ExperimentSpec(
+            mesh_shape=[8, 8],  # type: ignore[arg-type]
+            pattern="ring",
+            allocator="mc",
+            load=1.0,
+            seed=1,
+            trace=[[0, 0.0, 4, 30.0]],  # type: ignore[arg-type]
+        )
+        assert spec.mesh_shape == (8, 8)
+        assert spec.trace == ((0, 0.0, 4, 30.0),)
+        hash(spec)  # tuples throughout -> hashable
+
+    def test_json_round_trip(self):
+        data = json.loads(json.dumps(SPEC.to_dict()))
+        assert ExperimentSpec.from_dict(data) == SPEC
+
+    def test_cache_key_stable_and_sensitive(self):
+        assert SPEC.cache_key() == ExperimentSpec.from_dict(SPEC.to_dict()).cache_key()
+        for changed in (
+            ExperimentSpec(**{**SPEC.to_dict(), "mesh_shape": (8, 9)}),
+            ExperimentSpec(**{**SPEC.to_dict(), "allocator": "mc"}),
+            ExperimentSpec(**{**SPEC.to_dict(), "load": 0.4}),
+            ExperimentSpec(**{**SPEC.to_dict(), "seed": 4}),
+        ):
+            assert changed.cache_key() != SPEC.cache_key()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec(
+                mesh_shape=(8,), pattern="ring", allocator="mc", load=1.0, seed=0, n_jobs=5
+            )
+        with pytest.raises(ValueError):
+            ExperimentSpec(
+                mesh_shape=(8, 8), pattern="ring", allocator="mc", load=0.0, seed=0, n_jobs=5
+            )
+        with pytest.raises(ValueError):  # no trace and no synthetic length
+            ExperimentSpec(
+                mesh_shape=(8, 8), pattern="ring", allocator="mc", load=1.0, seed=0
+            )
+
+    def test_build_jobs_matches_driver_pipeline(self):
+        expected = apply_load_factor(
+            drop_oversized(
+                sdsc_paragon_trace(seed=3, n_jobs=20, runtime_scale=0.01), 64
+            ),
+            0.6,
+        )
+        assert SPEC.build_jobs() == expected
+
+    def test_network_params_round_trip(self):
+        from repro.network.fluid import NetworkParams
+
+        # Defaults collapse to None and leave the cache key unchanged.
+        assert ExperimentSpec.from_network_params(NetworkParams()) is None
+
+        custom = NetworkParams(hop_latency=0.5, message_flits=32.0)
+        spec = ExperimentSpec(
+            **{**SPEC.to_dict(), "network": ExperimentSpec.from_network_params(custom)}
+        )
+        assert spec.network_params() == custom
+        assert spec.cache_key() != SPEC.cache_key()
+        clone = ExperimentSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert clone == spec and clone.network_params() == custom
+
+    def test_build_jobs_from_explicit_trace(self):
+        trace = [Job(0, 0.0, 4, 30.0), Job(1, 10.0, 100, 30.0)]
+        spec = ExperimentSpec(
+            mesh_shape=(8, 8),
+            pattern="ring",
+            allocator="mc",
+            load=0.5,
+            seed=0,
+            trace=ExperimentSpec.from_trace(trace),
+        )
+        jobs = spec.build_jobs()
+        assert len(jobs) == 1  # the 100-proc job is oversized for 8x8
+        assert jobs[0].arrival == 0.0 and jobs[0].size == 4
+
+
+class TestCellResult:
+    def test_round_trip_exact(self):
+        cell = run_cell(SPEC)
+        clone = CellResult.from_dict(json.loads(json.dumps(cell.to_dict())))
+        assert clone.spec == cell.spec
+        assert clone.summary == cell.summary
+        assert clone.jobs == cell.jobs
+
+    def test_to_simulation_result(self):
+        cell = run_cell(SPEC)
+        sim_result = cell.to_simulation_result()
+        assert sim_result.mean_response() == pytest.approx(cell.summary.mean_response)
+        assert 0.0 < sim_result.mean_utilization() <= 1.0
+
+    def test_summary_dict_helpers(self):
+        cell = run_cell(SPEC)
+        assert summary_from_dict(summary_to_dict(cell.summary)) == cell.summary
