@@ -5,7 +5,12 @@ from __future__ import annotations
 from collections.abc import Iterable, Mapping, Sequence
 from pathlib import Path
 
-__all__ = ["format_table", "load_cached_sweep", "format_cached_sweep"]
+__all__ = [
+    "format_table",
+    "load_cached_sweep",
+    "format_cached_sweep",
+    "format_mesh_comparison",
+]
 
 
 def _fmt(value, float_fmt: str) -> str:
@@ -54,10 +59,67 @@ def format_table(
     return "\n".join(lines)
 
 
+def format_mesh_comparison(
+    baseline,
+    other,
+    metric: str = "mean_response",
+) -> str:
+    """Allocator-by-load comparison of two sweeps over different machines.
+
+    ``baseline`` and ``other`` are lists of
+    :class:`~repro.experiments.sweep.SweepResult` (one per pattern) from
+    the *same* workload on two machines -- e.g. fig12's 16x16 mesh and
+    8x8x8 torus.  One table per pattern shared by both sweeps; each row is
+    an (allocator, load) cell present in both, with the metric on either
+    machine and the ``other / baseline`` ratio (< 1 means the job stream
+    finishes faster on the ``other`` machine).
+    """
+
+    def label(result) -> str:
+        kind = "torus" if result.torus else "mesh"
+        return "x".join(str(n) for n in result.mesh_shape) + f" {kind}"
+
+    by_pattern = {r.pattern: r for r in other}
+    blocks = []
+    for base in baseline:
+        o = by_pattern.get(base.pattern)
+        if o is None:
+            continue
+        base_cells = {(c.allocator, c.load_factor): c for c in base.cells}
+        rows = []
+        for cell in o.cells:
+            ref = base_cells.get((cell.allocator, cell.load_factor))
+            if ref is None:
+                continue
+            a = getattr(ref, metric)
+            b = getattr(cell, metric)
+            rows.append(
+                {
+                    "allocator": cell.allocator,
+                    "load": cell.load_factor,
+                    label(base): a,
+                    label(o): b,
+                    "ratio": b / a if a else float("nan"),
+                }
+            )
+        rows.sort(key=lambda r: (r["allocator"], -r["load"]))
+        blocks.append(
+            format_table(
+                rows,
+                float_fmt=".2f",
+                title=(
+                    f"{metric} -- {label(o)} vs {label(base)}, "
+                    f"{base.pattern} pattern"
+                ),
+            )
+        )
+    return "\n\n".join(blocks)
+
+
 def load_cached_sweep(
     root: str | Path | None = None,
     pattern: str | None = None,
-    mesh_shape: tuple[int, int] | None = None,
+    mesh_shape: tuple[int, ...] | None = None,
     allocator: str | None = None,
 ) -> list[dict]:
     """Summary rows of every cached experiment cell, optionally filtered.

@@ -132,5 +132,19 @@ class Allocator(ABC):
     def _feasible(request: Request, machine: Machine) -> bool:
         return machine.n_free >= request.size
 
+    def _require_2d(self, machine: Machine) -> None:
+        """Fail fast with a clear error on meshes this strategy can't place.
+
+        Shell/submesh geometry (MC, contiguous) and some orderings
+        (H-indexing, Gen-Alg's axis decomposition) are defined on 2-D
+        meshes only; handing them a 3-D machine must raise, not emit
+        garbage placements.
+        """
+        if machine.mesh.n_dims != 2:
+            raise ValueError(
+                f"allocator {self.name!r} supports only 2-D meshes, got "
+                f"shape {tuple(machine.mesh.shape)}"
+            )
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(name={self.name!r})"

@@ -45,6 +45,7 @@ class FirstFitSubmesh(Allocator):
         self.rotate = rotate
 
     def allocate(self, request: Request, machine: Machine) -> Allocation | None:
+        self._require_2d(machine)
         if not self._feasible(request, machine):
             return None
         mesh = machine.mesh

@@ -33,7 +33,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.mesh.topology import Mesh2D
+from repro.mesh.topology import Mesh2D, Mesh3D
 
 __all__ = [
     "Curve",
@@ -159,7 +159,7 @@ class Curve:
     """
 
     name: str
-    mesh: Mesh2D
+    mesh: Mesh2D | Mesh3D
     order: np.ndarray
     rank: np.ndarray = field(init=False, repr=False, compare=False)
 
@@ -204,10 +204,8 @@ class Curve:
         )
 
     def points(self) -> np.ndarray:
-        """``(n, 2)`` array of (x, y) coordinates in curve order."""
-        xs = self.mesh.xs(self.order)
-        ys = self.mesh.ys(self.order)
-        return np.stack([xs, ys], axis=1)
+        """``(n, n_dims)`` array of node coordinates in curve order."""
+        return np.stack(self.mesh.axis_coords(self.order), axis=1)
 
 
 def _points_to_curve(name: str, mesh: Mesh2D, pts: np.ndarray) -> Curve:
@@ -272,13 +270,28 @@ _BUILDERS = {
 _CACHE: dict[tuple, Curve] = {}
 
 
-def get_curve(name: str, mesh: Mesh2D, **kwargs) -> Curve:
-    """Build (and cache) a named curve for a mesh."""
-    try:
+def get_curve(name: str, mesh: Mesh2D | Mesh3D, **kwargs) -> Curve:
+    """Build (and cache) a named curve for a 2-D or 3-D mesh.
+
+    3-D meshes dispatch to :data:`repro.core.curves3d.BUILDERS_3D`; curve
+    names without a 3-D construction (``"h-indexing"``) raise a clear
+    :class:`ValueError`, which is how 2-D-only Paging allocators refuse
+    3-D machines.
+    """
+    if name not in _BUILDERS:
+        raise KeyError(f"unknown curve {name!r}; known: {sorted(_BUILDERS)}")
+    if mesh.n_dims == 2:
         builder = _BUILDERS[name]
-    except KeyError:
-        raise KeyError(f"unknown curve {name!r}; known: {sorted(_BUILDERS)}") from None
-    key = (name, mesh.width, mesh.height, mesh.torus, tuple(sorted(kwargs.items())))
+    else:
+        from repro.core.curves3d import BUILDERS_3D
+
+        builder = BUILDERS_3D.get(name)
+        if builder is None:
+            raise ValueError(
+                f"curve {name!r} has no {mesh.n_dims}-D construction; "
+                f"3-D-capable curves: {sorted(BUILDERS_3D)}"
+            )
+    key = (name, tuple(mesh.shape), mesh.torus, tuple(sorted(kwargs.items())))
     curve = _CACHE.get(key)
     if curve is None:
         curve = builder(mesh, **kwargs)

@@ -1,12 +1,19 @@
-"""Multidimensional Hilbert indexings (extension; Alber & Niedermeier).
+"""Multidimensional Hilbert indexings and 3-D curve builders (extension).
 
-The paper cites "On multidimensional Hilbert indexings" for
-higher-dimensional space-filling curves -- relevant because Cplant
-machines were 3-D mesh families even though the paper's simulations are
-2-D.  This module provides n-dimensional Hilbert orderings via Skilling's
-transpose algorithm (J. Skilling, "Programming the Hilbert curve", 2004),
-so the one-dimensional-reduction strategy extends to
+The paper cites "On multidimensional Hilbert indexings" (Alber &
+Niedermeier) for higher-dimensional space-filling curves -- relevant
+because Cplant machines were 3-D mesh families even though the paper's
+simulations are 2-D.  This module provides n-dimensional Hilbert orderings
+via Skilling's transpose algorithm (J. Skilling, "Programming the Hilbert
+curve", 2004), so the one-dimensional-reduction strategy extends to
 :class:`repro.mesh.topology.Mesh3D` machines.
+
+On top of the raw orderings, :func:`hilbert3d`, :func:`s_curve3d` and
+:func:`row_major3d` build full :class:`repro.core.curves.Curve` objects for
+3-D meshes; :func:`repro.core.curves.get_curve` dispatches to them, which
+is what makes the Paging allocators (``"hilbert"``, ``"s-curve"``,
+``"row-major"`` and their ``+ff``/``+bf``/``+ss`` variants) 3-D-capable in
+the allocator registry.
 
 Property-tested invariants: the ordering visits every cell of the
 ``2^order`` hypercube exactly once, moving one mesh step at a time.
@@ -18,7 +25,15 @@ import numpy as np
 
 from repro.mesh.topology import Mesh3D
 
-__all__ = ["hilbert_nd_points", "hilbert3d_points", "hilbert3d_order"]
+__all__ = [
+    "hilbert_nd_points",
+    "hilbert3d_points",
+    "hilbert3d_order",
+    "hilbert3d",
+    "s_curve3d",
+    "row_major3d",
+    "BUILDERS_3D",
+]
 
 
 def _transpose_to_axes(x: list[int], order: int) -> list[int]:
@@ -93,3 +108,52 @@ def hilbert3d_order(mesh: Mesh3D) -> np.ndarray:
     )
     pts = pts[keep]
     return (pts[:, 2] * mesh.height + pts[:, 1]) * mesh.width + pts[:, 0]
+
+
+# ----------------------------------------------------------------------
+# Curve builders (the 3-D counterparts of repro.core.curves' public API)
+# ----------------------------------------------------------------------
+def hilbert3d(mesh: Mesh3D) -> "Curve":
+    """Hilbert-curve ordering, truncated from the enclosing 2^k cube."""
+    from repro.core.curves import Curve
+
+    return Curve("hilbert", mesh, hilbert3d_order(mesh))
+
+
+def s_curve3d(mesh: Mesh3D) -> "Curve":
+    """3-D boustrophedon ordering (the S-curve lifted one dimension up).
+
+    Rows snake along x within each z-plane exactly like the 2-D S-curve;
+    consecutive planes traverse in opposite order, so every step -- within
+    a row, between rows, and between planes -- is a unit mesh step
+    (a Hamiltonian path, no truncation gaps at any mesh size).
+    """
+    from repro.core.curves import Curve, _s_curve_points
+
+    plane = _s_curve_points(mesh.width, mesh.height, "x")
+    plane_ids = plane[:, 1] * mesh.width + plane[:, 0]
+    order = np.concatenate(
+        [
+            z * mesh.width * mesh.height
+            + (plane_ids if z % 2 == 0 else plane_ids[::-1])
+            for z in range(mesh.depth)
+        ]
+    )
+    return Curve("s-curve", mesh, order)
+
+
+def row_major3d(mesh: Mesh3D) -> "Curve":
+    """Row-major (node-id) ordering of a 3-D mesh."""
+    from repro.core.curves import Curve
+
+    return Curve("row-major", mesh, np.arange(mesh.n_nodes, dtype=np.int64))
+
+
+#: 3-D builders keyed by registry curve name; ``get_curve`` dispatches
+#: here for 3-D meshes.  Names absent from this table (``"h-indexing"``)
+#: have no 3-D construction and raise a clear ValueError there.
+BUILDERS_3D = {
+    "row-major": row_major3d,
+    "s-curve": s_curve3d,
+    "hilbert": hilbert3d,
+}

@@ -43,6 +43,7 @@ class GenAlgAllocator(Allocator):
     name = "gen-alg"
 
     def allocate(self, request: Request, machine: Machine) -> Allocation | None:
+        self._require_2d(machine)
         if not self._feasible(request, machine):
             return None
         mesh = machine.mesh

@@ -64,6 +64,9 @@ class HybridAllocator(Allocator):
         self.fallback = fallback or make_allocator("hilbert+bf")
 
     def allocate(self, request: Request, machine: Machine) -> Allocation | None:
+        # The default dispatch table mixes 2-D-only sub-allocators (MC), so
+        # the hybrid refuses 3-D meshes up front rather than mid-workload.
+        self._require_2d(machine)
         chosen = self.rules.get(request.pattern_hint or "", self.fallback)
         return chosen.allocate(request, machine)
 

@@ -91,6 +91,7 @@ class MCAllocator(Allocator):
         self.name = "mc" if shaped else "mc1x1"
 
     def allocate(self, request: Request, machine: Machine) -> Allocation | None:
+        self._require_2d(machine)
         if not self._feasible(request, machine):
             return None
         mesh = machine.mesh

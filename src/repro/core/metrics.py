@@ -17,7 +17,7 @@ from collections import deque
 
 import numpy as np
 
-from repro.mesh.topology import Mesh2D
+from repro.mesh.topology import Mesh2D, Mesh3D
 
 __all__ = [
     "average_pairwise_hops",
@@ -29,27 +29,49 @@ __all__ = [
     "rank_span",
 ]
 
+AnyMesh = Mesh2D | Mesh3D
 
-def total_pairwise_hops(mesh: Mesh2D, nodes) -> int:
+
+def _circular_pairwise_sum(coords: np.ndarray, extent: int) -> int:
+    """Sum over unordered pairs of the wraparound axis distance.
+
+    Coordinates take at most ``extent`` distinct values, so counting pairs
+    by value (circular autocorrelation of the value census) is exact in
+    O(extent^2) regardless of how many processors are involved.
+    """
+    census = np.bincount(coords, minlength=extent).astype(np.int64)
+    total = 0
+    for delta in range(1, extent):
+        ordered_pairs = int(census @ np.roll(census, -delta))
+        total += min(delta, extent - delta) * ordered_pairs
+    return total // 2  # every unordered pair was counted once per direction
+
+
+def total_pairwise_hops(mesh: AnyMesh, nodes) -> int:
     """Sum of Manhattan distances over unordered processor pairs.
 
     Computed per axis with the sorted-coordinate prefix-sum identity
     ``sum_{i<j} |c_i - c_j| = sum_j (2j - k + 1) * c_(j)`` (O(k log k)),
-    which also powers the Gen-Alg inner loop.
+    which also powers the Gen-Alg inner loop.  Torus axes use a value
+    census instead, since the identity does not survive wraparound.
     """
     nodes = np.asarray(nodes, dtype=np.int64)
     k = len(nodes)
     if k < 2:
         return 0
     total = 0
-    for coords in (mesh.xs(nodes), mesh.ys(nodes)):
-        c = np.sort(coords.astype(np.int64))
-        j = np.arange(k, dtype=np.int64)
-        total += int(np.sum((2 * j - k + 1) * c))
+    for coords, extent in zip(mesh.axis_coords(nodes), mesh.shape):
+        c = coords.astype(np.int64)
+        if mesh.torus:
+            total += _circular_pairwise_sum(c, extent)
+        else:
+            c = np.sort(c)
+            j = np.arange(k, dtype=np.int64)
+            total += int(np.sum((2 * j - k + 1) * c))
     return total
 
 
-def average_pairwise_hops(mesh: Mesh2D, nodes) -> float:
+def average_pairwise_hops(mesh: AnyMesh, nodes) -> float:
     """Mean Manhattan distance over unordered processor pairs."""
     nodes = np.asarray(nodes, dtype=np.int64)
     k = len(nodes)
@@ -58,8 +80,12 @@ def average_pairwise_hops(mesh: Mesh2D, nodes) -> float:
     return total_pairwise_hops(mesh, nodes) / (k * (k - 1) / 2)
 
 
-def components(mesh: Mesh2D, nodes) -> list[list[int]]:
-    """4-connected components of an allocated node set (each sorted)."""
+def components(mesh: AnyMesh, nodes) -> list[list[int]]:
+    """Mesh-connected components of an allocated node set (each sorted).
+
+    Connectivity follows ``mesh.neighbors``: 4-neighbourhoods on 2-D
+    meshes, 6-neighbourhoods on 3-D meshes, with wraparound on tori.
+    """
     nodes = np.asarray(nodes, dtype=np.int64)
     node_set = set(int(v) for v in nodes)
     if len(node_set) != len(nodes):
@@ -83,14 +109,14 @@ def components(mesh: Mesh2D, nodes) -> list[list[int]]:
     return out
 
 
-def n_components(mesh: Mesh2D, nodes) -> int:
-    """Number of 4-connected components of the allocation."""
+def n_components(mesh: AnyMesh, nodes) -> int:
+    """Number of mesh-connected components of the allocation."""
     if len(np.asarray(nodes)) == 0:
         return 0
     return len(components(mesh, nodes))
 
 
-def is_contiguous(mesh: Mesh2D, nodes) -> bool:
+def is_contiguous(mesh: AnyMesh, nodes) -> bool:
     """True when the allocation forms a single component (Fig 11's
     "% contiguous").  Note the paper's caveat: a contiguous job may still
     interfere with others because messages are x-y routed."""
@@ -98,7 +124,11 @@ def is_contiguous(mesh: Mesh2D, nodes) -> bool:
 
 
 def bounding_box(mesh: Mesh2D, nodes) -> tuple[int, int, int, int]:
-    """``(x_min, y_min, x_max, y_max)`` of the allocation."""
+    """``(x_min, y_min, x_max, y_max)`` of the allocation (2-D meshes)."""
+    if mesh.n_dims != 2:
+        raise ValueError(
+            f"bounding_box is a 2-D measure, got a {mesh.n_dims}-D mesh"
+        )
     nodes = np.asarray(nodes, dtype=np.int64)
     if len(nodes) == 0:
         raise ValueError("empty allocation has no bounding box")

@@ -35,7 +35,7 @@ import numpy as np
 from repro.core.base import Allocation, Allocator, Request
 from repro.core.curves import Curve, get_curve
 from repro.mesh.machine import Machine
-from repro.mesh.topology import Mesh2D
+from repro.mesh.topology import Mesh2D, Mesh3D
 
 __all__ = [
     "PagingAllocator",
@@ -209,8 +209,8 @@ class PagingAllocator(Allocator):
         self._mesh_cache: dict[tuple, tuple] = {}
 
     # -- mesh-specific precomputation -----------------------------------
-    def _bind(self, mesh: Mesh2D):
-        key = (mesh.width, mesh.height, mesh.torus)
+    def _bind(self, mesh: Mesh2D | Mesh3D):
+        key = (tuple(mesh.shape), mesh.torus)
         cached = self._mesh_cache.get(key)
         if cached is not None:
             return cached
@@ -219,6 +219,11 @@ class PagingAllocator(Allocator):
             page_of = None
             page_nodes = None
         else:
+            if mesh.n_dims != 2:
+                raise ValueError(
+                    "page_size > 0 pages are 2-D submeshes; use s = 0 "
+                    f"(the paper's setting) on a {mesh.n_dims}-D mesh"
+                )
             side = 1 << self.page_size
             if mesh.width % side or mesh.height % side:
                 raise ValueError(
@@ -241,7 +246,7 @@ class PagingAllocator(Allocator):
         self._mesh_cache[key] = cached
         return cached
 
-    def curve_for(self, mesh: Mesh2D) -> Curve:
+    def curve_for(self, mesh: Mesh2D | Mesh3D) -> Curve:
         """The (cached) curve this allocator uses on ``mesh``."""
         return self._bind(mesh)[0]
 

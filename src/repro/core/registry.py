@@ -15,12 +15,21 @@ Names follow the paper's labels:
 
 :func:`paper_allocators` returns the nine strategies plotted in Figs 7/8,
 and :func:`fig11_allocators` the twelve rows of the Fig 11 table.
+
+Strategies are built lazily against whatever mesh the machine carries, and
+the curve strategies backed by a 3-D ordering (``row-major``, ``s-curve``
+and ``hilbert`` -- see :mod:`repro.core.curves3d`) also place jobs on
+:class:`~repro.mesh.topology.Mesh3D` machines; :func:`allocator_names_3d`
+lists them.  Every other strategy raises a clear :class:`ValueError` when
+handed a 3-D mesh (shell/submesh geometry and H-indexing are 2-D
+constructions).
 """
 
 from __future__ import annotations
 
 from repro.core.base import Allocator
 from repro.core.contiguous import FirstFitSubmesh
+from repro.core.curves3d import BUILDERS_3D
 from repro.core.genalg import GenAlgAllocator
 from repro.core.hybrid import HybridAllocator
 from repro.core.mc import MCAllocator
@@ -29,11 +38,15 @@ from repro.core.paging import PagingAllocator
 __all__ = [
     "make_allocator",
     "allocator_names",
+    "allocator_names_3d",
     "paper_allocators",
     "fig11_allocators",
 ]
 
 _CURVES = ("s-curve", "hilbert", "h-indexing", "row-major")
+#: Curve strategies with a 3-D ordering, in 2-D legend order -- derived
+#: from the builder table so a new 3-D curve is registered automatically.
+_CURVES_3D = tuple(c for c in _CURVES if c in BUILDERS_3D)
 _SUFFIX_POLICY = {"ff": "first-fit", "bf": "best-fit", "ss": "sum-of-squares"}
 
 
@@ -69,6 +82,15 @@ def allocator_names() -> list[str]:
     """All canonical allocator names."""
     names = ["mc", "mc1x1", "gen-alg", "contiguous", "hybrid"]
     for curve in _CURVES:
+        names.append(curve)
+        names.extend(f"{curve}+{sfx}" for sfx in _SUFFIX_POLICY)
+    return names
+
+
+def allocator_names_3d() -> list[str]:
+    """Canonical names of the strategies that also place on 3-D meshes."""
+    names = []
+    for curve in _CURVES_3D:
         names.append(curve)
         names.extend(f"{curve}+{sfx}" for sfx in _SUFFIX_POLICY)
     return names

@@ -20,8 +20,13 @@ Examples::
 ``--trace`` feeds a real Standard Workload Format file (e.g. the actual
 SDSC Paragon trace) to the sweep experiments in place of the synthetic
 workload.  ``--jobs``/``--no-cache``/``--cache-dir`` apply to the
-trace-driven experiments (fig7, fig8, fig9/10, fig11, hybrid,
+trace-driven experiments (fig7, fig8, fig9/10, fig11, fig12, hybrid,
 contiguous); the cheap closed-form figures ignore them.
+
+``fig12`` is the 3-D extension: the Fig 7 sweep on an 8x8x8 torus plus a
+16x16-mesh comparison table (see ``repro.experiments.fig12_torus8``)::
+
+    python -m repro.experiments fig12 --scale small --jobs 2
 """
 
 from __future__ import annotations
@@ -41,6 +46,7 @@ from repro.experiments import (
     fig07_sweep16x22,
     fig08_sweep16x16,
     fig11_contiguity,
+    fig12_torus8,
     hybrid_workload,
     metric_correlation,
 )
@@ -118,6 +124,11 @@ EXPERIMENTS = {
         "percent contiguous & average components table",
     ),
     # Extensions beyond the paper's evaluation (DESIGN.md section 4).
+    "fig12": (
+        lambda s, seed, tr, j, c: fig12_torus8.run(s, seed, jobs=j, cache=c),
+        fig12_torus8.report,
+        "EXTENSION: fig7-style sweep on an 8x8x8 torus + 16x16 comparison",
+    ),
     "hybrid": (
         lambda s, seed, tr, j, c: hybrid_workload.run(s, seed, jobs=j, cache=c),
         hybrid_workload.report,
@@ -140,7 +151,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (fig1..fig11), 'all', or 'list'",
+        help="experiment id (fig1..fig12), 'all', or 'list'",
     )
     parser.add_argument(
         "--scale",

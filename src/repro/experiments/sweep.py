@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.experiments.config import Scale
-from repro.mesh.topology import Mesh2D
+from repro.mesh.topology import Mesh2D, Mesh3D
 from repro.runner import ExperimentSpec, ResultCache, run_many, sweep_specs
 from repro.sched.job import Job
 from repro.sched.stats import RunSummary
@@ -50,9 +50,10 @@ PAPER_PATTERNS = ("all-to-all", "n-body", "random")
 class SweepResult:
     """All cells of one figure panel (one mesh, one pattern)."""
 
-    mesh_shape: tuple[int, int]
+    mesh_shape: tuple[int, ...]
     pattern: str
     cells: list[RunSummary] = field(default_factory=list)
+    torus: bool = False
 
     def series(self, metric: str = "mean_response") -> dict[str, list[tuple[float, float]]]:
         """Per-allocator (load, metric) series, loads descending as plotted."""
@@ -72,7 +73,7 @@ class SweepResult:
 
 
 def build_sweep_specs(
-    mesh: Mesh2D,
+    mesh: Mesh2D | Mesh3D,
     scale: Scale,
     patterns: tuple[str, ...] = PAPER_PATTERNS,
     allocators: tuple[str, ...] = PAPER_ALLOCATORS,
@@ -89,11 +90,12 @@ def build_sweep_specs(
         runtime_scale=scale.runtime_scale,
         trace=None if trace is None else ExperimentSpec.from_trace(trace),
         network=ExperimentSpec.from_network_params(scale.network_params()),
+        torus=mesh.torus,
     )
 
 
 def run_sweep(
-    mesh: Mesh2D,
+    mesh: Mesh2D | Mesh3D,
     scale: Scale,
     patterns: tuple[str, ...] = PAPER_PATTERNS,
     allocators: tuple[str, ...] = PAPER_ALLOCATORS,
@@ -118,6 +120,7 @@ def run_sweep(
                 mesh_shape=mesh.shape,
                 pattern=pattern_name,
                 cells=[c.summary for c in chunk],
+                torus=mesh.torus,
             )
         )
     return results
@@ -138,13 +141,14 @@ def report_sweep(results: list[SweepResult], metric: str = "mean_response") -> s
                 row[f"load {load:g}"] = value
             rows.append(row)
         rows.sort(key=lambda r: r.get(f"load {loads[0]:g}", float("inf")))
-        w, h = result.mesh_shape
+        label = "x".join(str(n) for n in result.mesh_shape)
+        kind = "torus" if result.torus else "mesh"
         blocks.append(
             format_table(
                 rows,
                 columns=["allocator"] + [f"load {load:g}" for load in loads],
                 float_fmt=".1f",
-                title=f"{metric} -- {w}x{h} mesh, {result.pattern} pattern",
+                title=f"{metric} -- {label} {kind}, {result.pattern} pattern",
             )
         )
     return "\n\n".join(blocks)

@@ -14,6 +14,13 @@ This package models the space-shared mesh-connected machines of the paper
 
 from repro.mesh.machine import Machine
 from repro.mesh.routing import route_links, route_path
-from repro.mesh.topology import Mesh2D, Mesh3D
+from repro.mesh.topology import Mesh2D, Mesh3D, mesh_from_shape
 
-__all__ = ["Mesh2D", "Mesh3D", "Machine", "route_path", "route_links"]
+__all__ = [
+    "Mesh2D",
+    "Mesh3D",
+    "mesh_from_shape",
+    "Machine",
+    "route_path",
+    "route_links",
+]

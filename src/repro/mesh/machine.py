@@ -14,7 +14,7 @@ from collections.abc import Iterable
 
 import numpy as np
 
-from repro.mesh.topology import Mesh2D
+from repro.mesh.topology import Mesh2D, Mesh3D
 
 __all__ = ["Machine", "AllocationError"]
 
@@ -37,7 +37,7 @@ class Machine:
     over it without being able to corrupt the machine state.
     """
 
-    def __init__(self, mesh: Mesh2D):
+    def __init__(self, mesh: Mesh2D | Mesh3D):
         self.mesh = mesh
         self._free = np.ones(mesh.n_nodes, dtype=bool)
         # job id occupying each node, -1 when free; used for rendering and
@@ -135,7 +135,5 @@ class Machine:
         return self._free.copy()
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
-        return (
-            f"Machine({self.mesh.width}x{self.mesh.height}, "
-            f"{self.n_busy}/{self.mesh.n_nodes} busy)"
-        )
+        label = "x".join(str(n) for n in self.mesh.shape)
+        return f"Machine({label}, {self.n_busy}/{self.mesh.n_nodes} busy)"

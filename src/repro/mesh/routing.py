@@ -1,8 +1,10 @@
-"""Dimension-ordered (x-y) routing on 2-D meshes.
+"""Dimension-ordered routing on N-D meshes and tori.
 
-Messages travel all the way along the X dimension first, then along Y --
-the deadlock-free routing used by ProcSimity and assumed by the paper
-("messages use x-y routing rather than arbitrary paths", Section 4.3).
+Messages travel all the way along the lowest dimension first, then the
+next: x-y routing on 2-D meshes (the deadlock-free routing used by
+ProcSimity and assumed by the paper -- "messages use x-y routing rather
+than arbitrary paths", Section 4.3), x-y-z routing on the 3-D tori the
+fig12 extension sweeps.
 
 Two views of a route are provided:
 
@@ -10,15 +12,16 @@ Two views of a route are provided:
 * :func:`route_links` -- the sequence of *directed link* ids traversed, in
   the dense link numbering of :class:`repro.network.links.LinkSpace`.
 
-For torus meshes the X/Y legs each take the shorter way around (ties go in
-the positive direction), which remains deadlock-free with the virtual-channel
-assumption customary for torus wormhole routing; the paper's machines are
-plain meshes so the experiments never exercise wraparound.
+For torus meshes each axis leg takes the shorter way around (ties go in
+the positive direction), which remains deadlock-free with the
+virtual-channel assumption customary for torus wormhole routing; the
+paper's 2-D machines are plain meshes, so only the 3-D torus experiments
+exercise wraparound.
 """
 
 from __future__ import annotations
 
-from repro.mesh.topology import Mesh2D
+from repro.mesh.topology import Mesh2D, Mesh3D
 
 __all__ = ["route_path", "route_links", "route_hop_count"]
 
@@ -41,28 +44,30 @@ def _axis_steps(src: int, dst: int, extent: int, torus: bool) -> list[int]:
     return out
 
 
-def route_path(mesh: Mesh2D, src: int, dst: int) -> list[int]:
-    """Node ids visited by an x-y-routed message from ``src`` to ``dst``.
+def route_path(mesh: Mesh2D | Mesh3D, src: int, dst: int) -> list[int]:
+    """Node ids visited by a dimension-ordered message from ``src`` to ``dst``.
 
     The list includes both endpoints; a self-message yields ``[src]``.
+    Axes are corrected lowest-first (x, then y, then z), so on 2-D meshes
+    this is exactly the paper's x-y routing.
     """
-    sx, sy = mesh.coords(src)
-    dx, dy = mesh.coords(dst)
+    cur = list(mesh.coords(src))
+    dst_coords = mesh.coords(dst)
     path = [src]
-    for x in _axis_steps(sx, dx, mesh.width, mesh.torus):
-        path.append(mesh.node_id(x, sy))
-    for y in _axis_steps(sy, dy, mesh.height, mesh.torus):
-        path.append(mesh.node_id(dx, y))
+    for axis, extent in enumerate(mesh.shape):
+        for c in _axis_steps(cur[axis], dst_coords[axis], extent, mesh.torus):
+            cur[axis] = c
+            path.append(mesh.node_id(*cur))
     return path
 
 
-def route_hop_count(mesh: Mesh2D, src: int, dst: int) -> int:
-    """Number of links an x-y message crosses (== Manhattan distance)."""
+def route_hop_count(mesh: Mesh2D | Mesh3D, src: int, dst: int) -> int:
+    """Number of links a dimension-ordered message crosses (== Manhattan)."""
     return mesh.manhattan(src, dst)
 
 
-def route_links(mesh: Mesh2D, src: int, dst: int) -> list[int]:
-    """Directed link ids traversed from ``src`` to ``dst`` under x-y routing.
+def route_links(mesh: Mesh2D | Mesh3D, src: int, dst: int) -> list[int]:
+    """Directed link ids traversed from ``src`` to ``dst``.
 
     Link ids follow :class:`repro.network.links.LinkSpace`; importing lazily
     here avoids a package cycle (network depends on mesh).

@@ -8,9 +8,16 @@ whole allocations vectorise (see the hpc-parallel guide idiom: push loops
 into NumPy).
 
 The paper's machines are 2-D meshes (16x22 matching the SDSC Paragon
-partition, and 16x16).  ``Mesh3D`` and the ``torus`` flag are extensions kept
-for downstream users (Cplant itself was a 3-D mesh family); the experiment
-drivers only use plain 2-D meshes.
+partition, and 16x16).  ``Mesh3D`` and the ``torus`` flag extend the stack to
+the 3-D tori of real machines (Cplant itself was a 3-D mesh family); the
+fig12 experiment drives an 8x8x8 torus through the same pipeline.
+
+Both classes share the N-D surface the rest of the stack programs against:
+``shape`` / ``n_dims`` / ``n_nodes``, ``coords`` / ``node_id``,
+``axis_coords`` (per-axis coordinate arrays), ``manhattan`` /
+``pairwise_manhattan`` (torus-aware), and ``neighbors``.
+:func:`mesh_from_shape` builds the right class from a plain shape tuple,
+which is how :mod:`repro.runner` turns serialized specs back into machines.
 """
 
 from __future__ import annotations
@@ -19,7 +26,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["Mesh2D", "Mesh3D"]
+__all__ = ["Mesh2D", "Mesh3D", "mesh_from_shape"]
 
 
 @dataclass(frozen=True)
@@ -64,6 +71,15 @@ class Mesh2D:
     def shape(self) -> tuple[int, int]:
         """``(width, height)`` tuple."""
         return (self.width, self.height)
+
+    @property
+    def n_dims(self) -> int:
+        """Number of mesh dimensions (2)."""
+        return 2
+
+    def axis_coords(self, nodes=None) -> tuple[np.ndarray, ...]:
+        """Per-axis coordinate arrays of ``nodes`` (all nodes if None)."""
+        return (self.xs(nodes), self.ys(nodes))
 
     def node_id(self, x: int, y: int) -> int:
         """Return the node id at coordinates ``(x, y)``."""
@@ -168,21 +184,30 @@ class Mesh2D:
 
 @dataclass(frozen=True)
 class Mesh3D:
-    """A ``width x height x depth`` 3-D mesh (extension beyond the paper).
+    """A ``width x height x depth`` 3-D mesh or torus (extension).
 
     Node ids are dense row-major: ``node = (z * height + y) * width + x``.
-    Only the metric/adjacency API is provided; the network engines and
-    allocators in this reproduction operate on 2-D meshes as in the paper.
+    Provides the same N-D surface as :class:`Mesh2D` (coordinates,
+    torus-aware distances, adjacency), so the routing, link-load and
+    scheduling layers run unchanged on 3-D machines.
     """
 
     width: int
     height: int
     depth: int
     torus: bool = False
+    # Cached coordinate arrays (index -> x / y / z), built in __post_init__.
+    _xs: np.ndarray = field(init=False, repr=False, compare=False)
+    _ys: np.ndarray = field(init=False, repr=False, compare=False)
+    _zs: np.ndarray = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if min(self.width, self.height, self.depth) < 1:
             raise ValueError("mesh dimensions must be positive")
+        ids = np.arange(self.n_nodes)
+        object.__setattr__(self, "_xs", ids % self.width)
+        object.__setattr__(self, "_ys", (ids // self.width) % self.height)
+        object.__setattr__(self, "_zs", ids // (self.width * self.height))
 
     @property
     def n_nodes(self) -> int:
@@ -193,6 +218,31 @@ class Mesh3D:
     def shape(self) -> tuple[int, int, int]:
         """``(width, height, depth)`` tuple."""
         return (self.width, self.height, self.depth)
+
+    @property
+    def n_dims(self) -> int:
+        """Number of mesh dimensions (3)."""
+        return 3
+
+    def xs(self, nodes=None) -> np.ndarray:
+        """X coordinates of ``nodes`` (all nodes if None)."""
+        return self._xs if nodes is None else self._xs[np.asarray(nodes)]
+
+    def ys(self, nodes=None) -> np.ndarray:
+        """Y coordinates of ``nodes`` (all nodes if None)."""
+        return self._ys if nodes is None else self._ys[np.asarray(nodes)]
+
+    def zs(self, nodes=None) -> np.ndarray:
+        """Z coordinates of ``nodes`` (all nodes if None)."""
+        return self._zs if nodes is None else self._zs[np.asarray(nodes)]
+
+    def axis_coords(self, nodes=None) -> tuple[np.ndarray, ...]:
+        """Per-axis coordinate arrays of ``nodes`` (all nodes if None)."""
+        return (self.xs(nodes), self.ys(nodes), self.zs(nodes))
+
+    def all_nodes(self) -> np.ndarray:
+        """Array of every node id."""
+        return np.arange(self.n_nodes)
 
     def node_id(self, x: int, y: int, z: int) -> int:
         """Node id at coordinates ``(x, y, z)``."""
@@ -221,7 +271,7 @@ class Mesh3D:
         return d
 
     def manhattan(self, a, b):
-        """Manhattan distance between node ids."""
+        """Manhattan distance between node ids (torus-aware per axis)."""
         ax, ay, az = self.coords(np.asarray(a))
         bx, by, bz = self.coords(np.asarray(b))
         out = (
@@ -230,6 +280,16 @@ class Mesh3D:
             + self._axis_delta(az, bz, self.depth)
         )
         return int(out) if np.ndim(out) == 0 else out
+
+    def pairwise_manhattan(self, nodes) -> np.ndarray:
+        """Dense ``(k, k)`` matrix of Manhattan distances between ``nodes``."""
+        nodes = np.asarray(nodes)
+        out = np.zeros((len(nodes), len(nodes)), dtype=np.int64)
+        for coords, extent in zip(
+            self.axis_coords(nodes), (self.width, self.height, self.depth)
+        ):
+            out += self._axis_delta(coords[:, None], coords[None, :], extent)
+        return out
 
     def neighbors(self, node: int) -> list[int]:
         """6-neighbourhood of ``node``."""
@@ -252,3 +312,24 @@ class Mesh3D:
             ):
                 out.append(self.node_id(nx, ny, nz))
         return out
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "torus" if self.torus else "mesh"
+        return (
+            f"Mesh3D({self.width}x{self.height}x{self.depth} {kind}, "
+            f"{self.n_nodes} nodes)"
+        )
+
+
+def mesh_from_shape(shape, torus: bool = False) -> Mesh2D | Mesh3D:
+    """Build the matching mesh class from a 2- or 3-tuple of extents.
+
+    This is the single point where serialized ``mesh_shape`` tuples (specs,
+    cache artifacts) are turned back into machine topologies.
+    """
+    shape = tuple(int(v) for v in shape)
+    if len(shape) == 2:
+        return Mesh2D(*shape, torus=torus)
+    if len(shape) == 3:
+        return Mesh3D(*shape, torus=torus)
+    raise ValueError(f"mesh shape must have 2 or 3 dimensions, got {shape!r}")

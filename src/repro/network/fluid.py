@@ -58,7 +58,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.mesh.topology import Mesh2D
+from repro.mesh.topology import Mesh2D, Mesh3D
 from repro.network.links import LinkSpace
 
 __all__ = ["NetworkParams", "FluidNetwork", "max_min_rates"]
@@ -225,7 +225,7 @@ class FluidNetwork:
     the module docstring.
     """
 
-    def __init__(self, mesh: Mesh2D, params: NetworkParams | None = None):
+    def __init__(self, mesh: Mesh2D | Mesh3D, params: NetworkParams | None = None):
         self.mesh = mesh
         self.params = params or NetworkParams()
         self.space = LinkSpace.for_mesh(mesh)

@@ -1,11 +1,12 @@
-"""Dense numbering of the directed links of a 2-D mesh.
+"""Dense numbering of the directed links of an N-D mesh or torus.
 
 Every physical mesh channel is modelled as two directed links (ProcSimity
-likewise simulates full-duplex channels).  Links are numbered in four blocks
-so per-direction loads can be accumulated with NumPy difference arrays:
+likewise simulates full-duplex channels).  Links are numbered in two blocks
+per axis -- positive direction first, then negative -- in axis order, so a
+2-D mesh keeps the historical E / W / N / S block layout:
 
 ======  =======================  ==========================================
-block   direction                id layout
+block   direction                id layout (2-D)
 ======  =======================  ==========================================
 E       ``(x, y) -> (x+1, y)``   ``E_off + y * ew_cols + x``
 W       ``(x+1, y) -> (x, y)``   ``W_off + y * ew_cols + x``
@@ -13,16 +14,26 @@ N       ``(x, y) -> (x, y+1)``   ``N_off + y * width + x``
 S       ``(x, y+1) -> (x, y)``   ``S_off + y * width + x``
 ======  =======================  ==========================================
 
-where ``ew_cols = width - 1`` on a mesh (``width`` on a torus, the extra
-column being the wraparound edge) and N/S rows run ``0 .. height-2``
-(``height-1`` on a torus).
+Generally, the directed link in axis ``k``'s positive block at position
+``(c_0, .., c_{D-1})`` (with ``c_k`` the link "column", i.e. it connects
+``c_k -> c_k + 1`` modulo the extent on a torus) has within-block id equal
+to the C-order ravel of ``(c_{D-1}, .., c_0)`` with axis ``k``'s extent
+replaced by its column count: ``extent`` on a torus (the extra column being
+the wraparound edge), ``extent - 1`` on a plain mesh.  For 2-D meshes this
+reproduces the table above bit for bit.
+
+Per-direction loads accumulate with NumPy difference arrays: each axis leg
+of a dimension-ordered route covers a (circular) interval of columns, so a
+batch of messages reduces to scattered +/- marks followed by a ``cumsum``
+along the leg axis -- O(messages + links), no Python-level loop, on meshes
+*and* tori.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.mesh.topology import Mesh2D
+from repro.mesh.topology import Mesh2D, Mesh3D
 
 __all__ = ["LinkSpace"]
 
@@ -30,25 +41,50 @@ __all__ = ["LinkSpace"]
 class LinkSpace:
     """Directed-link id space of a mesh, with vectorised load accumulation."""
 
-    _cache: dict[tuple[int, int, bool], "LinkSpace"] = {}
+    _cache: dict[tuple, "LinkSpace"] = {}
 
-    def __init__(self, mesh: Mesh2D):
+    def __init__(self, mesh: Mesh2D | Mesh3D):
         self.mesh = mesh
-        w, h = mesh.width, mesh.height
-        self.ew_cols = w if mesh.torus else w - 1
-        self.ns_rows = h if mesh.torus else h - 1
-        self.n_ew = h * self.ew_cols  # links per E (and per W) block
-        self.n_ns = w * self.ns_rows  # links per N (and per S) block
-        self.E_off = 0
-        self.W_off = self.n_ew
-        self.N_off = 2 * self.n_ew
-        self.S_off = 2 * self.n_ew + self.n_ns
-        self.n_links = 2 * self.n_ew + 2 * self.n_ns
+        self.extents = tuple(mesh.shape)
+        self.n_dims = len(self.extents)
+        self.torus = mesh.torus
+        # Link "columns" along each axis: a column c holds the channel
+        # c -> c+1 (mod extent on a torus; the wrap edge is column n-1).
+        self.axis_cols = tuple(
+            n if mesh.torus else n - 1 for n in self.extents
+        )
+        self.axis_block = tuple(
+            self.axis_cols[k] * (mesh.n_nodes // self.extents[k])
+            for k in range(self.n_dims)
+        )
+        offsets = []
+        off = 0
+        for k in range(self.n_dims):
+            offsets.append((off, off + self.axis_block[k]))
+            off += 2 * self.axis_block[k]
+        #: Per axis ``(positive_offset, negative_offset)`` block starts.
+        self.axis_offsets = tuple(offsets)
+        self.n_links = off
+        # Node-id strides per coordinate axis (x fastest, row-major ids).
+        strides = []
+        acc = 1
+        for n in self.extents:
+            strides.append(acc)
+            acc *= n
+        self._node_strides = tuple(strides)
+        if self.n_dims == 2:
+            # Historical 2-D aliases (kept for callers and tests).
+            self.ew_cols = self.axis_cols[0]
+            self.ns_rows = self.axis_cols[1]
+            self.n_ew = self.axis_block[0]
+            self.n_ns = self.axis_block[1]
+            self.E_off, self.W_off = self.axis_offsets[0]
+            self.N_off, self.S_off = self.axis_offsets[1]
 
     @classmethod
-    def for_mesh(cls, mesh: Mesh2D) -> "LinkSpace":
+    def for_mesh(cls, mesh: Mesh2D | Mesh3D) -> "LinkSpace":
         """Cached LinkSpace for ``mesh`` (keyed on shape and torus flag)."""
-        key = (mesh.width, mesh.height, mesh.torus)
+        key = (tuple(mesh.shape), mesh.torus)
         space = cls._cache.get(key)
         if space is None:
             space = cls(mesh)
@@ -56,86 +92,100 @@ class LinkSpace:
         return space
 
     # ------------------------------------------------------------------
-    # Single-link helpers
+    # Link id arithmetic
     # ------------------------------------------------------------------
+    def _block_strides(self, axis: int) -> tuple[int, ...]:
+        """Within-block stride of each coordinate axis (x fastest)."""
+        strides = []
+        acc = 1
+        for k, n in enumerate(self.extents):
+            strides.append(acc)
+            acc *= self.axis_cols[axis] if k == axis else n
+        return tuple(strides)
+
+    def link_id(self, axis: int, positive: bool, coords) -> int:
+        """Id of the directed link along ``axis`` at position ``coords``.
+
+        ``coords[axis]`` is the link column ``c`` (the channel between
+        coordinates ``c`` and ``c+1``, modulo the extent on a torus); the
+        remaining entries locate the channel's row.
+        """
+        if not 0 <= coords[axis] < self.axis_cols[axis]:
+            raise ValueError(
+                f"column {coords[axis]} out of range for axis {axis}"
+            )
+        strides = self._block_strides(axis)
+        off = self.axis_offsets[axis][0 if positive else 1]
+        return off + int(sum(c * s for c, s in zip(coords, strides)))
+
     def east(self, x: int, y: int) -> int:
-        """Id of the link from ``(x, y)`` eastward to ``(x+1, y)``."""
-        return self.E_off + y * self.ew_cols + x
+        """Id of the link from ``(x, y)`` eastward to ``(x+1, y)`` (2-D)."""
+        return self.link_id(0, True, (x, y))
 
     def west(self, x: int, y: int) -> int:
-        """Id of the link from ``(x+1, y)`` westward to ``(x, y)``."""
-        return self.W_off + y * self.ew_cols + x
+        """Id of the link from ``(x+1, y)`` westward to ``(x, y)`` (2-D)."""
+        return self.link_id(0, False, (x, y))
 
     def north(self, x: int, y: int) -> int:
-        """Id of the link from ``(x, y)`` northward to ``(x, y+1)``."""
-        return self.N_off + y * self.mesh.width + x
+        """Id of the link from ``(x, y)`` northward to ``(x, y+1)`` (2-D)."""
+        return self.link_id(1, True, (x, y))
 
     def south(self, x: int, y: int) -> int:
-        """Id of the link from ``(x, y+1)`` southward to ``(x, y)``."""
-        return self.S_off + y * self.mesh.width + x
+        """Id of the link from ``(x, y+1)`` southward to ``(x, y)`` (2-D)."""
+        return self.link_id(1, False, (x, y))
 
     def endpoints(self, link: int) -> tuple[int, int]:
         """``(from_node, to_node)`` of a directed link id."""
-        mesh = self.mesh
-        w = mesh.width
         if link < 0 or link >= self.n_links:
             raise ValueError(f"link id {link} out of range")
-        if link < self.W_off:  # East
-            idx = link - self.E_off
-            y, x = divmod(idx, self.ew_cols)
-            return mesh.node_id(x, y), mesh.node_id((x + 1) % w, y)
-        if link < self.N_off:  # West
-            idx = link - self.W_off
-            y, x = divmod(idx, self.ew_cols)
-            return mesh.node_id((x + 1) % w, y), mesh.node_id(x, y)
-        if link < self.S_off:  # North
-            idx = link - self.N_off
-            y, x = divmod(idx, w)
-            return mesh.node_id(x, y), mesh.node_id(x, (y + 1) % mesh.height)
-        idx = link - self.S_off  # South
-        y, x = divmod(idx, w)
-        return mesh.node_id(x, (y + 1) % mesh.height), mesh.node_id(x, y)
+        for axis in range(self.n_dims):
+            pos_off, neg_off = self.axis_offsets[axis]
+            if link < neg_off + self.axis_block[axis]:
+                positive = link < neg_off
+                idx = link - (pos_off if positive else neg_off)
+                coords = []
+                for k, n in enumerate(self.extents):
+                    dim = self.axis_cols[axis] if k == axis else n
+                    coords.append(idx % dim)
+                    idx //= dim
+                low = sum(c * s for c, s in zip(coords, self._node_strides))
+                c_hi = (coords[axis] + 1) % self.extents[axis]
+                high = low + (c_hi - coords[axis]) * self._node_strides[axis]
+                return (low, high) if positive else (high, low)
+        raise AssertionError("unreachable")  # pragma: no cover
 
     # ------------------------------------------------------------------
     # Route enumeration
     # ------------------------------------------------------------------
+    def _step_positive(self, cur: int, dst: int, extent: int) -> bool:
+        if not self.torus:
+            return dst > cur
+        return (dst - cur) % extent <= (cur - dst) % extent
+
     def links_on_route(self, src: int, dst: int) -> list[int]:
-        """Directed link ids crossed by an x-y route from ``src`` to ``dst``."""
+        """Directed link ids crossed by a dimension-ordered route.
+
+        Axes are corrected lowest-first (x-y routing on 2-D meshes); on a
+        torus each leg takes the shorter way around, ties positive.
+        """
         mesh = self.mesh
-        sx, sy = mesh.coords(src)
-        dx, dy = mesh.coords(dst)
+        cur = list(mesh.coords(src))
+        dst_coords = mesh.coords(dst)
         out: list[int] = []
-        x = sx
-        while x != dx:
-            if self._x_step_positive(x, dx):
-                out.append(self.east(x % mesh.width, sy))
-                x = (x + 1) % mesh.width if mesh.torus else x + 1
-            else:
-                nx = (x - 1) % mesh.width if mesh.torus else x - 1
-                out.append(self.west(nx, sy))
-                x = nx
-        y = sy
-        while y != dy:
-            if self._y_step_positive(y, dy):
-                out.append(self.north(dx, y % mesh.height))
-                y = (y + 1) % mesh.height if mesh.torus else y + 1
-            else:
-                ny = (y - 1) % mesh.height if mesh.torus else y - 1
-                out.append(self.south(dx, ny))
-                y = ny
+        for axis, extent in enumerate(self.extents):
+            c, d = cur[axis], dst_coords[axis]
+            while c != d:
+                if self._step_positive(c, d, extent):
+                    cur[axis] = c
+                    out.append(self.link_id(axis, True, cur))
+                    c = (c + 1) % extent if self.torus else c + 1
+                else:
+                    nc = (c - 1) % extent if self.torus else c - 1
+                    cur[axis] = nc
+                    out.append(self.link_id(axis, False, cur))
+                    c = nc
+            cur[axis] = d
         return out
-
-    def _x_step_positive(self, x: int, dx: int) -> bool:
-        if not self.mesh.torus:
-            return dx > x
-        w = self.mesh.width
-        return (dx - x) % w <= (x - dx) % w
-
-    def _y_step_positive(self, y: int, dy: int) -> bool:
-        if not self.mesh.torus:
-            return dy > y
-        h = self.mesh.height
-        return (dy - y) % h <= (y - dy) % h
 
     # ------------------------------------------------------------------
     # Vectorised accumulation (hot path of the fluid engine)
@@ -146,7 +196,7 @@ class LinkSpace:
         dst: np.ndarray,
         weight: float | np.ndarray = 1.0,
     ) -> np.ndarray:
-        """Per-link traversal loads for a batch of x-y-routed messages.
+        """Per-link traversal loads for a batch of dimension-ordered messages.
 
         Parameters
         ----------
@@ -163,74 +213,90 @@ class LinkSpace:
 
         Notes
         -----
-        For plain meshes each leg of an x-y route is a contiguous interval of
-        same-direction links in one row/column, so the whole batch reduces to
-        scattered +/- marks in per-direction difference arrays followed by a
-        ``cumsum`` (O(messages + links), no Python-level loop).  Torus meshes
-        fall back to explicit route walking.
+        Each axis leg of a dimension-ordered route covers a (circular)
+        interval of same-direction links in one row, so the whole batch
+        reduces to scattered +/- marks in per-direction difference arrays
+        followed by a ``cumsum`` (O(messages + links), no Python loop).  On
+        a torus a wrapping leg splits into two plain intervals.
         """
-        mesh = self.mesh
         src = np.asarray(src, dtype=np.int64)
         dst = np.asarray(dst, dtype=np.int64)
         if src.shape != dst.shape:
             raise ValueError("src and dst must have the same shape")
         weight_arr = np.broadcast_to(
             np.asarray(weight, dtype=np.float64), src.shape
-        )
-        if mesh.torus:
-            return self._accumulate_walking(src, dst, weight_arr)
+        ).ravel()
+        src = src.ravel()
+        dst = dst.ravel()
 
-        w, h = mesh.width, mesh.height
-        sx = src % w
-        sy = src // w
-        dx = dst % w
-        dy = dst // w
-
-        # X legs travel in row sy; Y legs travel in column dx.
-        diff_e = np.zeros((h, w), dtype=np.float64)
-        diff_w = np.zeros((h, w), dtype=np.float64)
-        diff_n = np.zeros((h + 1, w), dtype=np.float64)
-        diff_s = np.zeros((h + 1, w), dtype=np.float64)
-
-        east = dx > sx
-        if np.any(east):
-            np.add.at(diff_e, (sy[east], sx[east]), weight_arr[east])
-            np.add.at(diff_e, (sy[east], dx[east]), -weight_arr[east])
-        west = dx < sx
-        if np.any(west):
-            np.add.at(diff_w, (sy[west], dx[west]), weight_arr[west])
-            np.add.at(diff_w, (sy[west], sx[west]), -weight_arr[west])
-        north = dy > sy
-        if np.any(north):
-            np.add.at(diff_n, (sy[north], dx[north]), weight_arr[north])
-            np.add.at(diff_n, (dy[north], dx[north]), -weight_arr[north])
-        south = dy < sy
-        if np.any(south):
-            np.add.at(diff_s, (dy[south], dx[south]), weight_arr[south])
-            np.add.at(diff_s, (sy[south], dx[south]), -weight_arr[south])
+        src_c = [
+            (src // s) % n for s, n in zip(self._node_strides, self.extents)
+        ]
+        dst_c = [
+            (dst // s) % n for s, n in zip(self._node_strides, self.extents)
+        ]
 
         loads = np.empty(self.n_links, dtype=np.float64)
-        # E/W: link (x,y) covers column interval [x, x+1) of row y.
-        loads[self.E_off : self.E_off + self.n_ew] = np.cumsum(diff_e, axis=1)[
-            :, : self.ew_cols
-        ].ravel()
-        loads[self.W_off : self.W_off + self.n_ew] = np.cumsum(diff_w, axis=1)[
-            :, : self.ew_cols
-        ].ravel()
-        # N/S: link (x,y) covers row interval [y, y+1) of column x.
-        loads[self.N_off : self.N_off + self.n_ns] = np.cumsum(diff_n, axis=0)[
-            : self.ns_rows, :
-        ].ravel()
-        loads[self.S_off : self.S_off + self.n_ns] = np.cumsum(diff_s, axis=0)[
-            : self.ns_rows, :
-        ].ravel()
+        for axis, n in enumerate(self.extents):
+            a, b = src_c[axis], dst_c[axis]
+            # Leg position: axes already corrected sit at dst, later at src.
+            row = [dst_c[k] if k < axis else src_c[k] for k in range(self.n_dims)]
+            if self.torus:
+                fwd = (b - a) % n
+                back = (a - b) % n
+                go_pos = (fwd > 0) & (fwd <= back)
+                go_neg = back < fwd
+            else:
+                fwd = b - a
+                back = a - b
+                go_pos = fwd > 0
+                go_neg = back > 0
+            for positive, mask, start, length in (
+                (True, go_pos, a, fwd),
+                (False, go_neg, b, back),
+            ):
+                off = self.axis_offsets[axis][0 if positive else 1]
+                block = self._accumulate_axis_legs(
+                    axis, row, mask, start, length, weight_arr
+                )
+                loads[off : off + self.axis_block[axis]] = block
         return loads
 
-    def _accumulate_walking(
-        self, src: np.ndarray, dst: np.ndarray, weight: np.ndarray
+    def _accumulate_axis_legs(
+        self, axis, row, mask, start, length, weight
     ) -> np.ndarray:
-        loads = np.zeros(self.n_links, dtype=np.float64)
-        for s, d, wgt in zip(src.ravel(), dst.ravel(), weight.ravel()):
-            for link in self.links_on_route(int(s), int(d)):
-                loads[link] += wgt
-        return loads
+        """Difference-array accumulation of one direction's axis legs."""
+        n = self.extents[axis]
+        # Reversed-coordinate dims (C order, x fastest), axis widened by one
+        # column so interval ends never spill.
+        shape = tuple(
+            (n + 1) if k == axis else self.extents[k]
+            for k in reversed(range(self.n_dims))
+        )
+        diff = np.zeros(shape, dtype=np.float64)
+        axis_pos = self.n_dims - 1 - axis  # axis's position in the dims
+
+        def at(col, sel):
+            return tuple(
+                col[sel] if k == axis else row[k][sel]
+                for k in reversed(range(self.n_dims))
+            )
+
+        end = start + length
+        plain = mask & (end <= n)
+        if np.any(plain):
+            np.add.at(diff, at(start, plain), weight[plain])
+            np.add.at(diff, at(end, plain), -weight[plain])
+        if self.torus:
+            wrap = mask & (end > n)
+            if np.any(wrap):
+                full = np.full_like(start, n)
+                zero = np.zeros_like(start)
+                np.add.at(diff, at(start, wrap), weight[wrap])
+                np.add.at(diff, at(full, wrap), -weight[wrap])
+                np.add.at(diff, at(zero, wrap), weight[wrap])
+                np.add.at(diff, at(end - n, wrap), -weight[wrap])
+        cum = np.cumsum(diff, axis=axis_pos)
+        sel = [slice(None)] * self.n_dims
+        sel[axis_pos] = slice(0, self.axis_cols[axis])
+        return cum[tuple(sel)].ravel()

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.mesh.topology import Mesh2D
+from repro.mesh.topology import Mesh2D, Mesh3D
 from repro.network.links import LinkSpace
 
 __all__ = ["pairs_to_nodes", "build_load_vector", "mean_message_hops", "total_message_hops"]
@@ -49,7 +49,7 @@ def pairs_to_nodes(
 
 
 def build_load_vector(
-    mesh: Mesh2D,
+    mesh: Mesh2D | Mesh3D,
     nodes: np.ndarray,
     pairs: np.ndarray,
     message_flits: float = 1.0,
@@ -72,7 +72,7 @@ def build_load_vector(
     return loads
 
 
-def mean_message_hops(mesh: Mesh2D, nodes: np.ndarray, pairs: np.ndarray) -> float:
+def mean_message_hops(mesh: Mesh2D | Mesh3D, nodes: np.ndarray, pairs: np.ndarray) -> float:
     """Average Manhattan hops per message of a pattern cycle (Fig 10 metric)."""
     src, dst = pairs_to_nodes(nodes, pairs)
     if src.size == 0:
@@ -80,7 +80,7 @@ def mean_message_hops(mesh: Mesh2D, nodes: np.ndarray, pairs: np.ndarray) -> flo
     return float(np.mean(mesh.manhattan(src, dst)))
 
 
-def total_message_hops(mesh: Mesh2D, nodes: np.ndarray, pairs: np.ndarray) -> int:
+def total_message_hops(mesh: Mesh2D | Mesh3D, nodes: np.ndarray, pairs: np.ndarray) -> int:
     """Total Manhattan hops summed over one pattern cycle."""
     src, dst = pairs_to_nodes(nodes, pairs)
     if src.size == 0:

@@ -22,7 +22,7 @@ from collections.abc import Callable, Iterable, Sequence
 import numpy as np
 
 from repro.core.registry import make_allocator
-from repro.mesh.topology import Mesh2D
+from repro.mesh.topology import mesh_from_shape
 from repro.patterns.base import get_pattern
 from repro.runner.cache import ResultCache
 from repro.runner.spec import CellResult, ExperimentSpec
@@ -66,7 +66,7 @@ def run_cell(spec: ExperimentSpec) -> CellResult:
         pattern = get_pattern(spec.pattern)
         label = None
     sim = Simulation(
-        Mesh2D(*spec.mesh_shape),
+        mesh_from_shape(spec.mesh_shape, torus=spec.torus),
         make_allocator(spec.allocator),
         pattern,
         spec.build_jobs(),
@@ -156,7 +156,7 @@ def run_many(
 
 
 def sweep_specs(
-    mesh_shape: tuple[int, int],
+    mesh_shape: tuple[int, ...],
     patterns: Sequence[str],
     loads: Sequence[float],
     allocators: Sequence[str],
@@ -165,9 +165,11 @@ def sweep_specs(
     runtime_scale: float = 1.0,
     trace=None,
     network=None,
+    torus: bool = False,
 ) -> list[ExperimentSpec]:
     """The figure-grid spec list, in the drivers' canonical cell order
-    (pattern-major, then load, then allocator)."""
+    (pattern-major, then load, then allocator).  ``mesh_shape`` may be a
+    2- or 3-tuple; ``torus`` wraps opposite faces (fig12's 8x8x8 torus)."""
     return [
         ExperimentSpec(
             mesh_shape=tuple(mesh_shape),
@@ -179,6 +181,7 @@ def sweep_specs(
             runtime_scale=runtime_scale,
             trace=trace,
             network=network,
+            torus=torus,
         )
         for pattern in patterns
         for load in loads

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 from dataclasses import asdict, dataclass, field, fields
 
 from repro.network.fluid import NetworkParams
@@ -38,7 +39,12 @@ class ExperimentSpec:
     Attributes
     ----------
     mesh_shape:
-        ``(width, height)`` of the 2D mesh.
+        ``(width, height)`` of a 2-D mesh or ``(width, height, depth)`` of
+        a 3-D mesh.
+    torus:
+        Opposite faces connected (k-ary n-cube).  False (the paper's plain
+        meshes) is omitted from the serialized form so every pre-existing
+        2-D spec keeps a byte-identical cache key.
     pattern:
         Registry name of the communication pattern (or the engine's
         ``"mixed(a2a+nbody)"`` sentinel for the hybrid-workload mix).
@@ -62,7 +68,7 @@ class ExperimentSpec:
         ``"fcfs"`` (the paper) or ``"easy"`` (backfilling extension).
     """
 
-    mesh_shape: tuple[int, int]
+    mesh_shape: tuple[int, ...]
     pattern: str
     allocator: str
     load: float
@@ -72,6 +78,7 @@ class ExperimentSpec:
     trace: tuple[TraceRow, ...] | None = None
     network: tuple[tuple[str, float | None], ...] | None = None
     scheduler: str = "fcfs"
+    torus: bool = False
 
     def __post_init__(self) -> None:
         # Normalise list inputs so hashing/equality always work.
@@ -84,8 +91,10 @@ class ExperimentSpec:
             object.__setattr__(
                 self, "network", tuple(tuple(kv) for kv in self.network)
             )
-        if len(self.mesh_shape) != 2:
-            raise ValueError(f"mesh_shape must be (w, h), got {self.mesh_shape!r}")
+        if len(self.mesh_shape) not in (2, 3):
+            raise ValueError(
+                f"mesh_shape must be (w, h) or (w, h, d), got {self.mesh_shape!r}"
+            )
         if self.load <= 0:
             raise ValueError(f"load must be positive, got {self.load!r}")
         if self.trace is None and self.n_jobs < 1:
@@ -111,8 +120,8 @@ class ExperimentSpec:
             base = sdsc_paragon_trace(
                 seed=self.seed, n_jobs=self.n_jobs, runtime_scale=self.runtime_scale
             )
-        w, h = self.mesh_shape
-        return apply_load_factor(drop_oversized(base, w * h), self.load)
+        n_nodes = math.prod(self.mesh_shape)
+        return apply_load_factor(drop_oversized(base, n_nodes), self.load)
 
     # -- network parameters --------------------------------------------
     def network_params(self) -> NetworkParams:
@@ -135,8 +144,14 @@ class ExperimentSpec:
 
     # -- serialization -------------------------------------------------
     def to_dict(self) -> dict:
-        """JSON-ready dict (tuples become lists)."""
-        return {
+        """JSON-ready dict (tuples become lists).
+
+        ``torus`` is serialized only when set: the default (False) is
+        omitted so 2-D mesh specs -- and therefore their cache keys and
+        every pre-refactor ``.repro-cache/`` artifact -- are unchanged by
+        the N-D generalisation.
+        """
+        out = {
             "mesh_shape": list(self.mesh_shape),
             "pattern": self.pattern,
             "allocator": self.allocator,
@@ -148,6 +163,9 @@ class ExperimentSpec:
             "network": None if self.network is None else [list(kv) for kv in self.network],
             "scheduler": self.scheduler,
         }
+        if self.torus:
+            out["torus"] = True
+        return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "ExperimentSpec":
@@ -167,6 +185,7 @@ class ExperimentSpec:
             if data.get("network") is None
             else tuple(tuple(kv) for kv in data["network"]),
             scheduler=data.get("scheduler", "fcfs"),
+            torus=data.get("torus", False),
         )
 
     def cache_key(self) -> str:

@@ -17,6 +17,7 @@ microsimulator (see DESIGN.md substitution #2).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -24,7 +25,7 @@ import numpy as np
 from repro.core.base import Allocator, Request
 from repro.core.metrics import average_pairwise_hops, n_components
 from repro.mesh.machine import Machine
-from repro.mesh.topology import Mesh2D
+from repro.mesh.topology import Mesh2D, Mesh3D
 from repro.network.fluid import FluidNetwork, NetworkParams
 from repro.network.traffic import build_load_vector, mean_message_hops
 from repro.patterns.base import Pattern
@@ -55,7 +56,7 @@ class SimulationResult:
 
     allocator: str
     pattern: str
-    mesh_shape: tuple[int, int]
+    mesh_shape: tuple[int, ...]
     load_factor: float
     jobs: list[JobResult] = field(default_factory=list)
     makespan: float = 0.0
@@ -112,7 +113,7 @@ class SimulationResult:
         """
         if not self.jobs or self.makespan <= 0:
             return 0.0
-        n_nodes = self.mesh_shape[0] * self.mesh_shape[1]
+        n_nodes = math.prod(self.mesh_shape)
         events: list[tuple[float, int]] = []
         for j in self.jobs:
             events.append((j.start, j.size))
@@ -156,7 +157,7 @@ class Simulation:
 
     def __init__(
         self,
-        mesh: Mesh2D,
+        mesh: Mesh2D | Mesh3D,
         allocator: Allocator,
         pattern,
         jobs: list[Job],

@@ -18,7 +18,7 @@ class RunSummary:
 
     allocator: str
     pattern: str
-    mesh_shape: tuple[int, int]
+    mesh_shape: tuple[int, ...]
     load_factor: float
     n_jobs: int
     mean_response: float
@@ -35,7 +35,7 @@ class RunSummary:
         return {
             "allocator": self.allocator,
             "pattern": self.pattern,
-            "mesh": f"{self.mesh_shape[0]}x{self.mesh_shape[1]}",
+            "mesh": "x".join(str(n) for n in self.mesh_shape),
             "load": self.load_factor,
             "jobs": self.n_jobs,
             "mean_response": self.mean_response,

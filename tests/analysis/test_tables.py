@@ -1,6 +1,55 @@
 """Tests for repro.analysis.tables."""
 
-from repro.analysis.tables import format_cached_sweep, format_table, load_cached_sweep
+from repro.analysis.tables import (
+    format_cached_sweep,
+    format_mesh_comparison,
+    format_table,
+    load_cached_sweep,
+)
+
+
+class TestFormatMeshComparison:
+    @staticmethod
+    def _sweep(mesh_shape, torus, value):
+        from repro.experiments.sweep import SweepResult
+        from repro.sched.stats import RunSummary
+
+        cells = [
+            RunSummary(
+                allocator="hilbert",
+                pattern="ring",
+                mesh_shape=mesh_shape,
+                load_factor=load,
+                n_jobs=5,
+                mean_response=value * load,
+                median_response=value,
+                mean_wait=0.0,
+                mean_duration=value,
+                mean_stretch=1.0,
+                fraction_contiguous=1.0,
+                mean_components=1.0,
+                makespan=value,
+            )
+            for load in (1.0, 0.5)
+        ]
+        return [SweepResult(mesh_shape=mesh_shape, pattern="ring",
+                            cells=cells, torus=torus)]
+
+    def test_aligned_cells_and_ratio(self):
+        base = self._sweep((16, 16), False, 200.0)
+        other = self._sweep((8, 8, 8), True, 100.0)
+        out = format_mesh_comparison(base, other)
+        assert "8x8x8 torus vs 16x16 mesh" in out
+        assert "ring pattern" in out
+        lines = out.splitlines()
+        assert "ratio" in lines[1]
+        assert "0.50" in out  # 100 / 200 at every shared load
+
+    def test_disjoint_patterns_yield_empty(self):
+        base = self._sweep((16, 16), False, 200.0)
+        other = self._sweep((8, 8, 8), True, 100.0)
+        other[0].pattern = "n-body"
+        assert format_mesh_comparison(base, other) == ""
 
 
 class TestFormatTable:

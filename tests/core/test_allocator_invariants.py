@@ -6,6 +6,10 @@ distinct and exactly ``request.size`` long, with ``held`` a free superset
 of ``nodes`` -- and the allocator must never mutate the machine (the
 paper's separation of policy from mechanism: "the allocator is a separate
 module from the scheduler", Section 1).
+
+The same invariants hold on 3-D tori for every 3-D-capable strategy
+(``allocator_names_3d``); everything else must refuse a 3-D machine with
+a :class:`ValueError` rather than emit garbage placements.
 """
 
 from __future__ import annotations
@@ -16,22 +20,35 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.base import Request
-from repro.core.registry import allocator_names, make_allocator
+from repro.core.registry import (
+    allocator_names,
+    allocator_names_3d,
+    make_allocator,
+)
 from repro.mesh.machine import Machine
-from repro.mesh.topology import Mesh2D
+from repro.mesh.topology import Mesh2D, Mesh3D
 
 MESH = Mesh2D(8, 8)
 
+#: The fig12 tori the 3-D invariants sweep (small and full size).
+MESHES_3D = (Mesh3D(4, 4, 4, torus=True), Mesh3D(8, 8, 8, torus=True))
 
-def _random_machine(occupancy_seed: int, busy_fraction: float) -> Machine:
+
+def _random_machine_on(
+    mesh, occupancy_seed: int, busy_fraction: float
+) -> Machine:
     """Machine with a seeded random subset of processors occupied."""
-    machine = Machine(MESH)
+    machine = Machine(mesh)
     rng = np.random.default_rng(occupancy_seed)
-    n_busy = int(busy_fraction * MESH.n_nodes)
+    n_busy = int(busy_fraction * mesh.n_nodes)
     if n_busy:
-        busy = rng.choice(MESH.n_nodes, size=n_busy, replace=False)
+        busy = rng.choice(mesh.n_nodes, size=n_busy, replace=False)
         machine.allocate(busy, job_id=777)
     return machine
+
+
+def _random_machine(occupancy_seed: int, busy_fraction: float) -> Machine:
+    return _random_machine_on(MESH, occupancy_seed, busy_fraction)
 
 
 @pytest.mark.parametrize("name", allocator_names())
@@ -73,6 +90,49 @@ def test_allocation_invariants(
     assert np.isin(nodes, held).all(), f"{name}: node not held"
     assert free_before[held].all(), f"{name}: allocated busy processors"
     assert np.all((held >= 0) & (held < MESH.n_nodes)), f"{name}: node out of range"
+
+
+@pytest.mark.parametrize("mesh", MESHES_3D, ids=lambda m: "x".join(map(str, m.shape)))
+@pytest.mark.parametrize("name", allocator_names_3d())
+@settings(max_examples=10, deadline=None)
+@given(
+    occupancy_seed=st.integers(min_value=0, max_value=2**31 - 1),
+    busy_fraction=st.floats(min_value=0.0, max_value=0.9),
+    size_fraction=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_allocation_invariants_3d(
+    name, mesh, occupancy_seed, busy_fraction, size_fraction
+):
+    """No-overlap / in-bounds / exact-size invariants on 3-D tori."""
+    machine = _random_machine_on(mesh, occupancy_seed, busy_fraction)
+    size = max(1, round(size_fraction * machine.n_free)) if machine.n_free else 1
+
+    free_before = machine.snapshot()
+    allocation = make_allocator(name).allocate(
+        Request(size=size, job_id=1), machine
+    )
+    assert np.array_equal(machine.snapshot(), free_before), name
+    if allocation is None:
+        return
+
+    nodes, held = allocation.nodes, allocation.held
+    assert len(nodes) == size, f"{name}: wrong allocation size"
+    assert len(np.unique(nodes)) == len(nodes), f"{name}: duplicate nodes"
+    assert np.isin(nodes, held).all(), f"{name}: node not held"
+    assert free_before[held].all(), f"{name}: allocated busy processors"
+    assert np.all((held >= 0) & (held < mesh.n_nodes)), f"{name}: out of range"
+    machine.allocate(held, job_id=1)  # raises on any violation
+    machine.release(held)
+
+
+@pytest.mark.parametrize(
+    "name", sorted(set(allocator_names()) - set(allocator_names_3d()))
+)
+def test_2d_only_allocators_raise_on_3d_mesh(name):
+    """2-D-only strategies must refuse a 3-D machine, not emit garbage."""
+    machine = Machine(Mesh3D(4, 4, 4, torus=True))
+    with pytest.raises(ValueError):
+        make_allocator(name).allocate(Request(size=4, job_id=1), machine)
 
 
 @pytest.mark.parametrize("name", allocator_names())

@@ -1,11 +1,18 @@
-"""Tests for repro.core.curves3d: n-dimensional Hilbert indexings."""
+"""Tests for repro.core.curves3d: n-D Hilbert indexings and 3-D builders."""
 
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.curves3d import hilbert3d_order, hilbert3d_points, hilbert_nd_points
+from repro.core.curves import get_curve
+from repro.core.curves3d import (
+    BUILDERS_3D,
+    hilbert3d_order,
+    hilbert3d_points,
+    hilbert_nd_points,
+    s_curve3d,
+)
 from repro.mesh.topology import Mesh3D
 
 
@@ -69,3 +76,41 @@ class TestHilbert3dOrder:
         assert len(order) == 60
         steps = [mesh.manhattan(int(a), int(b)) for a, b in zip(order, order[1:])]
         assert min(steps) >= 1
+
+
+class TestCurveBuilders3D:
+    @pytest.mark.parametrize("name", sorted(BUILDERS_3D))
+    def test_builders_produce_valid_curves(self, name):
+        mesh = Mesh3D(4, 3, 5)
+        curve = get_curve(name, mesh)
+        assert curve.name == name
+        assert sorted(curve.order.tolist()) == list(range(mesh.n_nodes))
+        assert np.array_equal(curve.order[curve.rank], np.arange(mesh.n_nodes))
+
+    @pytest.mark.parametrize("shape", [(4, 4, 4), (8, 8, 8), (3, 5, 2)])
+    def test_s_curve3d_is_gapless_hamiltonian_path(self, shape):
+        """The 3-D boustrophedon takes unit steps at every mesh size."""
+        mesh = Mesh3D(*shape)
+        curve = s_curve3d(mesh)
+        assert curve.n_gaps() == 0
+
+    def test_hilbert3d_gapless_on_power_of_two_cube(self):
+        assert get_curve("hilbert", Mesh3D(8, 8, 8)).n_gaps() == 0
+
+    def test_points_are_3d(self):
+        pts = get_curve("s-curve", Mesh3D(3, 3, 3)).points()
+        assert pts.shape == (27, 3)
+
+    def test_get_curve_caches_by_shape_and_torus(self):
+        a = get_curve("hilbert", Mesh3D(4, 4, 4))
+        b = get_curve("hilbert", Mesh3D(4, 4, 4))
+        c = get_curve("hilbert", Mesh3D(4, 4, 4, torus=True))
+        assert a is b and a is not c
+
+    def test_h_indexing_has_no_3d_construction(self):
+        with pytest.raises(ValueError, match="no 3-D construction"):
+            get_curve("h-indexing", Mesh3D(4, 4, 4))
+
+    def test_unknown_name_still_keyerror(self):
+        with pytest.raises(KeyError):
+            get_curve("zigzag", Mesh3D(4, 4, 4))

@@ -30,7 +30,7 @@ class TestCli:
     def test_all_experiments_registered(self):
         assert set(EXPERIMENTS) == {
             "fig1", "fig2", "fig4", "fig5", "fig6",
-            "fig7", "fig8", "fig9", "fig10", "fig11",
+            "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
             "hybrid", "contiguous",
         }
 
@@ -119,3 +119,16 @@ class TestEngineFlags:
         out = capsys.readouterr().out
         assert "ring subphases: 7" in out
         assert "[cache]" not in out  # fig5 never touches the engine cache
+
+    def test_fig12_runs_torus_and_comparison(self, tiny_scale, capsys, monkeypatch):
+        """fig12 produces the torus panel and the 2-D-vs-3-D table."""
+        import repro.experiments.fig12_torus8 as fig12_mod
+
+        monkeypatch.setattr(
+            fig12_mod, "TORUS_ALLOCATORS", ("hilbert", "hilbert+bf")
+        )
+        assert main(["fig12", "--no-cache", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "8x8x8 torus" in out
+        assert "8x8x8 torus vs 16x16 mesh" in out
+        assert "ratio" in out

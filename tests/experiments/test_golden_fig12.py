@@ -1,0 +1,102 @@
+"""Golden-snapshot regression test for a small-scale Fig 12 torus panel.
+
+Pins the per-cell mean response times of the all-to-all panel of the
+8x8x8-torus sweep (``small`` scale, seed 1) against a checked-in JSON
+snapshot, mirroring ``test_golden_fig7.py`` for the new mesh dimension:
+future refactors of the N-D routing / link-load / allocation stack cannot
+silently shift the 3-D numbers.  A second test re-runs a slice of the
+panel under ``jobs=2`` and asserts cell-for-cell identity with the serial
+run -- the engine's determinism guarantee extended to 3-D cells.
+
+Regenerate after an *intentional* behaviour change with::
+
+    PYTHONPATH=src python tests/experiments/test_golden_fig12.py --regen
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import SMALL
+from repro.experiments.fig12_torus8 import MESH, TORUS_ALLOCATORS
+from repro.experiments.sweep import build_sweep_specs, run_sweep
+from repro.runner import run_many
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "fig12_small_golden.json"
+
+#: Relative tolerance for float noise; the run itself is deterministic.
+RTOL = 1e-6
+
+PANEL_KWARGS = dict(patterns=("all-to-all",), allocators=TORUS_ALLOCATORS)
+
+
+def compute_panel() -> dict[str, float]:
+    """``"allocator@load" -> mean_response`` for the snapshot panel."""
+    panel = run_sweep(MESH, SMALL, **PANEL_KWARGS)[0]
+    return {
+        f"{cell.allocator}@{cell.load_factor:g}": cell.mean_response
+        for cell in panel.cells
+    }
+
+
+def test_fig12_small_panel_matches_golden_snapshot():
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert golden["mesh"] == list(MESH.shape) and golden["torus"] is True
+    assert golden["scale"] == SMALL.name and golden["seed"] == SMALL.seed
+
+    actual = compute_panel()
+    expected = golden["mean_response"]
+    assert set(actual) == set(expected), "cell grid changed shape"
+    drifted = {
+        key: (actual[key], expected[key])
+        for key in expected
+        if actual[key] != pytest.approx(expected[key], rel=RTOL)
+    }
+    assert not drifted, (
+        "mean response times drifted from the golden Fig 12 panel "
+        f"(intentional? regenerate with --regen): {drifted}"
+    )
+
+
+def test_fig12_parallel_runs_match_serial_exactly():
+    """3-D torus cells are bit-identical under worker fan-out."""
+    specs = build_sweep_specs(
+        MESH,
+        SMALL,
+        patterns=("all-to-all",),
+        allocators=("hilbert", "hilbert+bf"),
+    )
+    serial = run_many(specs, jobs=1)
+    parallel = run_many(specs, jobs=2)
+    for a, b in zip(serial, parallel):
+        assert a.spec == b.spec
+        assert a.summary == b.summary
+        assert a.jobs == b.jobs
+
+
+def _regenerate() -> None:
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "figure": "fig12",
+        "panel": "all-to-all",
+        "mesh": list(MESH.shape),
+        "torus": MESH.torus,
+        "scale": SMALL.name,
+        "seed": SMALL.seed,
+        "loads": list(SMALL.loads),
+        "allocators": list(TORUS_ALLOCATORS),
+        "mean_response": compute_panel(),
+    }
+    GOLDEN_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH} ({len(payload['mean_response'])} cells)")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" not in sys.argv:
+        sys.exit("refusing to regenerate without --regen")
+    _regenerate()

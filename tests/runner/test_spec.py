@@ -19,6 +19,60 @@ SPEC = ExperimentSpec(
     runtime_scale=0.01,
 )
 
+SPEC_3D = ExperimentSpec(
+    mesh_shape=(8, 8, 8),
+    torus=True,
+    pattern="all-to-all",
+    allocator="hilbert+bf",
+    load=1.0,
+    seed=1,
+    n_jobs=20,
+    runtime_scale=0.01,
+)
+
+#: Cache keys of representative 2-D specs recorded *before* the N-D
+#: refactor.  These must never change: they are what keeps pre-existing
+#: ``.repro-cache/`` artifacts valid.  If one of these fails, the spec
+#: serialization changed in a cache-invalidating way.
+PRE_REFACTOR_KEYS = {
+    ExperimentSpec(
+        mesh_shape=(8, 8),
+        pattern="ring",
+        allocator="hilbert+bf",
+        load=0.6,
+        seed=3,
+        n_jobs=20,
+        runtime_scale=0.01,
+    ): "22fe8c056a6df34915b75b5ca5c244462b16f6a0594e756a523d63daef79e11f",
+    ExperimentSpec(
+        mesh_shape=(16, 22),
+        pattern="all-to-all",
+        allocator="mc",
+        load=1.0,
+        seed=1,
+        n_jobs=150,
+        runtime_scale=0.01,
+    ): "4c168d3f22db8191228747fae39055de861c1986e160be33ab33cffe4e3c9848",
+    ExperimentSpec(
+        mesh_shape=(16, 16),
+        pattern="n-body",
+        allocator="s-curve",
+        load=0.4,
+        seed=2,
+        trace=((0, 0.0, 4, 30.0), (1, 5.0, 8, 12.5)),
+    ): "6fe29b7ce280438ab0523f290a72af45eff649b3b94e604c359577c4bf86a5d0",
+    ExperimentSpec(
+        mesh_shape=(16, 16),
+        pattern="random",
+        allocator="gen-alg",
+        load=0.8,
+        seed=7,
+        n_jobs=10,
+        network=(("hop_latency", 0.5),),
+        scheduler="easy",
+    ): "c6345515b4e4a950769efd8edab6d7a84bf1b698853ba1df28d65a97d4768065",
+}
+
 
 class TestExperimentSpec:
     def test_hashable_and_equal(self):
@@ -92,6 +146,16 @@ class TestExperimentSpec:
         clone = ExperimentSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
         assert clone == spec and clone.network_params() == custom
 
+    def test_2d_cache_keys_unchanged_by_nd_refactor(self):
+        """Regression guard: pre-refactor artifacts must stay addressable."""
+        for spec, key in PRE_REFACTOR_KEYS.items():
+            assert spec.cache_key() == key, spec
+
+    def test_2d_spec_dict_omits_torus_default(self):
+        """The torus flag must not leak into legacy serialized forms."""
+        assert "torus" not in SPEC.to_dict()
+        assert SPEC_3D.to_dict()["torus"] is True
+
     def test_build_jobs_from_explicit_trace(self):
         trace = [Job(0, 0.0, 4, 30.0), Job(1, 10.0, 100, 30.0)]
         spec = ExperimentSpec(
@@ -105,6 +169,51 @@ class TestExperimentSpec:
         jobs = spec.build_jobs()
         assert len(jobs) == 1  # the 100-proc job is oversized for 8x8
         assert jobs[0].arrival == 0.0 and jobs[0].size == 4
+
+
+class TestExperimentSpec3D:
+    def test_round_trip_and_hash(self):
+        clone = ExperimentSpec.from_dict(json.loads(json.dumps(SPEC_3D.to_dict())))
+        assert clone == SPEC_3D
+        assert hash(clone) == hash(SPEC_3D)
+        assert clone.cache_key() == SPEC_3D.cache_key()
+
+    def test_cache_key_sensitive_to_new_dimension(self):
+        flat = ExperimentSpec(**{**SPEC_3D.to_dict(), "mesh_shape": (8, 64)})
+        mesh = ExperimentSpec(**{**SPEC_3D.to_dict(), "torus": False})
+        deeper = ExperimentSpec(**{**SPEC_3D.to_dict(), "mesh_shape": (8, 8, 9)})
+        keys = {s.cache_key() for s in (SPEC_3D, flat, mesh, deeper)}
+        assert len(keys) == 4
+
+    def test_validation_rejects_other_ranks(self):
+        for bad in ((8,), (2, 2, 2, 2)):
+            with pytest.raises(ValueError):
+                ExperimentSpec(
+                    mesh_shape=bad, pattern="ring", allocator="hilbert",
+                    load=1.0, seed=0, n_jobs=5,
+                )
+
+    def test_build_jobs_uses_full_torus_capacity(self):
+        trace = [Job(0, 0.0, 400, 30.0), Job(1, 1.0, 600, 30.0)]
+        spec = ExperimentSpec(
+            mesh_shape=(8, 8, 8),
+            torus=True,
+            pattern="ring",
+            allocator="hilbert",
+            load=1.0,
+            seed=0,
+            trace=ExperimentSpec.from_trace(trace),
+        )
+        jobs = spec.build_jobs()
+        assert [j.size for j in jobs] == [400]  # 600 > 512 dropped
+
+    def test_run_cell_executes_3d_spec(self):
+        small = ExperimentSpec(**{**SPEC_3D.to_dict(), "mesh_shape": (4, 4, 4), "n_jobs": 8})
+        cell = run_cell(small)
+        assert cell.summary.mesh_shape == (4, 4, 4)
+        assert cell.summary.n_jobs > 0
+        clone = CellResult.from_dict(json.loads(json.dumps(cell.to_dict())))
+        assert clone.spec == small and clone.summary == cell.summary
 
 
 class TestCellResult:
