@@ -33,8 +33,9 @@ from repro.core import (
 from repro.mesh import Machine, Mesh2D, Mesh3D
 from repro.patterns import get_pattern
 from repro.runner import ExperimentSpec, ResultCache, run_many
+from repro.trace import TraceStore
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Mesh2D",
@@ -49,6 +50,7 @@ __all__ = [
     "get_pattern",
     "ExperimentSpec",
     "ResultCache",
+    "TraceStore",
     "run_many",
     "__version__",
 ]

@@ -126,7 +126,11 @@ def load_cached_sweep(
 
     Reads the :mod:`repro.runner` artifact cache (``root`` defaults to
     ``$REPRO_CACHE_DIR`` or ``.repro-cache``) so analyses and notebooks
-    can consume completed sweeps without re-running anything.  Each row is
+    can consume completed sweeps without re-running anything.  Cells whose
+    spec references an interned trace (``trace_ref``) resolve
+    transparently: the summary rows never need the rows hydrated, and the
+    cache key is read off the artifact name, so listing a cache works even
+    without its workload store.  Each row is
     :meth:`~repro.sched.stats.RunSummary.row` plus the cell's cache key
     and compute time; rows sort by (pattern, load descending, allocator).
     """
@@ -134,7 +138,7 @@ def load_cached_sweep(
 
     cache = ResultCache(root)
     rows = []
-    for cell in cache.iter_results():
+    for path, cell in cache.iter_entries(load_jobs=False):
         spec = cell.spec
         if pattern is not None and spec.pattern != pattern:
             continue
@@ -143,7 +147,7 @@ def load_cached_sweep(
         if allocator is not None and spec.allocator != allocator:
             continue
         row = cell.summary.row()
-        row["cache_key"] = spec.cache_key()
+        row["cache_key"] = path.name.partition(".")[0]
         row["elapsed"] = cell.elapsed
         rows.append(row)
     rows.sort(key=lambda r: (r["pattern"], -r["load"], r["allocator"]))

@@ -27,6 +27,16 @@ contiguous); the cheap closed-form figures ignore them.
 16x16-mesh comparison table (see ``repro.experiments.fig12_torus8``)::
 
     python -m repro.experiments fig12 --scale small --jobs 2
+
+``figswf`` replays a *real* SWF log (bundled mini fixture by default,
+``--trace`` for an actual Parallel Workloads Archive download) through
+the archive-ingestion pipeline and both machines; the prepared trace is
+interned once into ``.repro-cache/traces/`` and referenced by digest::
+
+    python -m repro.experiments figswf --scale medium --jobs 4
+
+Cache lifecycle tooling lives in ``python -m repro.runner``
+(``ls`` / ``prune --older-than DAYS`` / ``vacuum``).
 """
 
 from __future__ import annotations
@@ -47,6 +57,7 @@ from repro.experiments import (
     fig08_sweep16x16,
     fig11_contiguity,
     fig12_torus8,
+    figswf_realtrace,
     hybrid_workload,
     metric_correlation,
 )
@@ -129,6 +140,12 @@ EXPERIMENTS = {
         fig12_torus8.report,
         "EXTENSION: fig7-style sweep on an 8x8x8 torus + 16x16 comparison",
     ),
+    "figswf": (
+        lambda s, seed, tr, j, c: figswf_realtrace.run(s, seed, trace=tr, jobs=j, cache=c),
+        figswf_realtrace.report,
+        "EXTENSION: real-SWF-trace sweep, 16x16 mesh vs 8x8x8 torus "
+        "(bundled mini fixture unless --trace)",
+    ),
     "hybrid": (
         lambda s, seed, tr, j, c: hybrid_workload.run(s, seed, jobs=j, cache=c),
         hybrid_workload.report,
@@ -164,7 +181,7 @@ def main(argv: list[str] | None = None) -> int:
         "--trace",
         default=None,
         help="SWF trace file to use instead of the synthetic workload "
-        "(fig7/fig8 only)",
+        "(fig7/fig8) or the bundled mini fixture (figswf)",
     )
     parser.add_argument(
         "--jobs",

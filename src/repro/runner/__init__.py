@@ -9,17 +9,22 @@ JSON-serializable -- and provides:
 
 * :func:`run_cell`: execute one spec deterministically,
 * :func:`run_many`: fan a spec list out over ``multiprocessing`` workers
-  with chunked dispatch, preserving spec order in the results,
-* :class:`ResultCache`: a JSON artifact store under ``.repro-cache/``
-  keyed by spec hash, so repeated sweeps and the benchmark suite skip
-  already-computed cells.
+  with chunked dispatch, preserving spec order in the results --
+  interning inline explicit traces into the content-addressed workload
+  store (:mod:`repro.trace.store`) so workers receive digest-sized refs,
+* :class:`ResultCache`: a compressed artifact store under
+  ``.repro-cache/`` keyed by spec hash, so repeated sweeps and the
+  benchmark suite skip already-computed cells; explicit traces are
+  stored once under ``.repro-cache/traces/`` and referenced by digest.
 
 Every figure driver that replays the trace (figs 7, 8, 9/10, 11 and the
 extensions) is built on this engine; ``python -m repro.experiments``
-exposes it through ``--jobs N`` and ``--no-cache``.
+exposes it through ``--jobs N`` and ``--no-cache``, and
+``python -m repro.runner`` provides cache lifecycle tooling
+(``ls`` / ``prune`` / ``vacuum``).
 """
 
-from repro.runner.cache import ResultCache, default_cache_root
+from repro.runner.cache import CACHE_FORMAT, ResultCache, VacuumReport, default_cache_root
 from repro.runner.engine import (
     MIXED_A2A_NBODY,
     mixed_pattern_selector,
@@ -33,6 +38,8 @@ __all__ = [
     "ExperimentSpec",
     "CellResult",
     "ResultCache",
+    "VacuumReport",
+    "CACHE_FORMAT",
     "default_cache_root",
     "run_cell",
     "run_many",

@@ -1,0 +1,154 @@
+"""Cache lifecycle CLI for the experiment engine.
+
+``.repro-cache/`` grows without bound as sweeps accumulate; this tool
+lists, ages out, and repairs it -- both the cell artifacts and the
+content-addressed workload store underneath them::
+
+    python -m repro.runner ls                      # artifact table + totals
+    python -m repro.runner ls --pattern n-body     # filter by cell coordinates
+    python -m repro.runner prune --older-than 30   # age out stale artifacts
+    python -m repro.runner prune --older-than 30 --dry-run
+    python -m repro.runner vacuum                  # corrupt artifacts, temp
+                                                   # leftovers, orphan traces
+
+``--cache-dir`` (or ``$REPRO_CACHE_DIR``) selects the cache;
+``prune`` only removes cell artifacts -- follow with ``vacuum`` to drop
+traces nothing references any more.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.analysis.tables import format_table
+from repro.runner.cache import ResultCache
+
+__all__ = ["main"]
+
+
+def _fmt_age(seconds: float) -> str:
+    days = seconds / 86400.0
+    return f"{days:.1f}d" if days >= 1 else f"{seconds / 3600.0:.1f}h"
+
+
+def _ls(cache: ResultCache, args) -> int:
+    now = time.time()
+    rows = []
+    for path, cell in cache.iter_entries(load_jobs=False):
+        spec = cell.spec
+        if args.pattern is not None and spec.pattern != args.pattern:
+            continue
+        if args.allocator is not None and spec.allocator != args.allocator:
+            continue
+        trace = "synthetic"
+        if spec.trace_ref is not None:
+            trace = spec.trace_ref[:12]
+        elif spec.trace is not None:
+            trace = f"inline({len(spec.trace)})"
+        rows.append(
+            {
+                "key": path.name.partition(".")[0][:12],
+                "pattern": spec.pattern,
+                "mesh": "x".join(str(n) for n in spec.mesh_shape)
+                + ("t" if spec.torus else ""),
+                "allocator": spec.allocator,
+                "load": spec.load,
+                "trace": trace,
+                "kB": path.stat().st_size / 1024.0,
+                "age": _fmt_age(now - path.stat().st_mtime),
+            }
+        )
+    print(format_table(rows, float_fmt=".2f", title=f"artifacts in {cache.root}"))
+    total_kb = sum(r["kB"] for r in rows)
+    print(f"{len(rows)} artifacts, {total_kb:.0f} kB")
+    n_traces = len(cache.traces)
+    if n_traces or args.pattern is None:
+        print(
+            f"workload store: {n_traces} traces, "
+            f"{cache.traces.size_bytes() / 1024.0:.0f} kB in {cache.traces.root}"
+        )
+    return 0
+
+
+def _prune(cache: ResultCache, args) -> int:
+    stale = cache.prune(args.older_than, dry_run=args.dry_run)
+    verb = "would remove" if args.dry_run else "removed"
+    print(
+        f"{verb} {len(stale)} artifacts older than {args.older_than:g} days "
+        f"from {cache.root}"
+    )
+    if stale and not args.dry_run:
+        print("run 'vacuum' to drop traces no remaining artifact references")
+    return 0
+
+
+def _vacuum(cache: ResultCache, args) -> int:
+    report = cache.vacuum(dry_run=args.dry_run, orphan_grace_days=args.orphan_grace)
+    verb = "would remove" if args.dry_run else "removed"
+    print(
+        f"{verb} {report.corrupt_artifacts} corrupt artifacts, "
+        f"{report.tmp_files} temp leftovers, "
+        f"{report.orphan_traces} orphan traces from {cache.root}"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-runner",
+        description="Inspect and maintain the experiment result cache "
+        "(.repro-cache/ artifacts and the traces/ workload store).",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache directory (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_ls = sub.add_parser("ls", help="list artifacts and workload-store totals")
+    p_ls.add_argument("--pattern", default=None, help="only cells with this pattern")
+    p_ls.add_argument("--allocator", default=None, help="only cells with this allocator")
+
+    p_prune = sub.add_parser("prune", help="delete artifacts older than a cutoff")
+    p_prune.add_argument(
+        "--older-than",
+        type=float,
+        required=True,
+        metavar="DAYS",
+        help="age cutoff in days (fractions allowed)",
+    )
+    p_prune.add_argument(
+        "--dry-run", action="store_true", help="report what would be removed"
+    )
+
+    p_vac = sub.add_parser(
+        "vacuum",
+        help="remove corrupt artifacts, temp leftovers, and orphaned traces",
+    )
+    p_vac.add_argument(
+        "--dry-run", action="store_true", help="report what would be removed"
+    )
+    p_vac.add_argument(
+        "--orphan-grace",
+        type=float,
+        default=1.0,
+        metavar="DAYS",
+        help="keep unreferenced traces newer than this (protects staged "
+        "ingests and in-flight sweeps; default: 1 day)",
+    )
+
+    args = parser.parse_args(argv)
+    cache = ResultCache(args.cache_dir)
+    if args.command == "ls":
+        return _ls(cache, args)
+    if args.command == "prune":
+        return _prune(cache, args)
+    return _vacuum(cache, args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,93 +1,297 @@
 """On-disk artifact cache for experiment cells.
 
-One JSON file per cell under the cache root (default ``.repro-cache/``,
+One artifact per cell under the cache root (default ``.repro-cache/``,
 overridable via the ``REPRO_CACHE_DIR`` environment variable), named by
-the spec's SHA-256 cache key.  The stored artifact embeds the full spec,
+the spec's SHA-256 cache key.  The stored artifact embeds the cell's spec,
 so a hit is validated against the requesting spec -- a stale or colliding
 file degrades to a miss instead of returning wrong numbers.  Writes go
 through a temp file + :func:`os.replace` so concurrent runs never observe
-a torn artifact.  The trace-driven simulator pattern follows the
-fair-queueing exemplar in SNIPPETS.md, which persists per-trace results
-to JSON so reruns are free.
+a torn artifact.
+
+Artifact format 2 (this refactor) stores explicit traces by reference
+into the sibling workload store (``<root>/traces/``, see
+:mod:`repro.trace.store`) and packs per-job results into compact rows:
+fields the base trace already determines (arrival, size, quota) are
+dropped and rebuilt on load, the two hop metrics are stored as their
+exact integer numerators, and the JSON is gzip-compressed on disk
+(``<key>.json.gz``).  Every encode is verified by an immediate decode
+round-trip, so a cache hit is bit-identical to the computed cell; cells
+that cannot be packed losslessly fall back to full rows.  Format-1
+artifacts (plain ``<key>.json`` with inline traces) remain readable, and
+the cache key itself is unchanged, so pre-refactor caches stay warm.
 """
 
 from __future__ import annotations
 
+import gzip
 import json
 import os
+import time
 from collections.abc import Iterator
+from dataclasses import dataclass
 from pathlib import Path
 
-from repro.runner.spec import CellResult, ExperimentSpec
+from repro.runner.spec import (
+    CellResult,
+    ExperimentSpec,
+    _job_from_list,
+    _job_to_list,
+    summary_from_dict,
+    summary_to_dict,
+)
+from repro.sched.job import Job, JobResult
+from repro.trace.store import TRACE_STORE_DIRNAME, TraceStore, default_cache_root
 
-__all__ = ["ResultCache", "default_cache_root", "CACHE_FORMAT"]
+__all__ = [
+    "ResultCache",
+    "default_cache_root",
+    "CACHE_FORMAT",
+    "VacuumReport",
+    "pack_job_results",
+    "unpack_job_results",
+]
 
-#: Artifact schema version; bump to invalidate old caches wholesale.
-CACHE_FORMAT = 1
+#: Artifact schema version written by this code.
+CACHE_FORMAT = 2
 
-#: Default cache directory name (created in the working directory).
-DEFAULT_CACHE_DIR = ".repro-cache"
+#: Schema versions :class:`ResultCache` can still read.
+READABLE_FORMATS = (1, CACHE_FORMAT)
 
 
-def default_cache_root() -> Path:
-    """Cache root: ``$REPRO_CACHE_DIR`` if set, else ``./.repro-cache``."""
-    return Path(os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR))
+# ----------------------------------------------------------------------
+# Compact per-job codec
+# ----------------------------------------------------------------------
+#
+# Packed jobs are parallel columns of the true simulation outputs only;
+# everything the spec already determines is rebuilt on load:
+#
+# * job_id / arrival / size / quota come from ``build_jobs`` (rows align
+#   with it: both are ascending in job_id),
+# * ``pairwise_hops == pw_total / (size*(size-1)/2)`` and
+#   ``message_hops == mh_total / message_pairs`` store the exact integer
+#   numerators and reconstruct the IEEE division the simulator performed,
+# * a start time is one of three event kinds: the job's own (contracted)
+#   arrival (``null``), another job's completion -- the simulator starts
+#   queued jobs at completion instants, so the float is *identical* --
+#   (int index into the completion column), or a literal float.
+#
+# Unpacking is therefore lossless -- and verified to be, by an immediate
+# decode-and-compare at encode time, with full rows as the fallback.
+
+def pack_job_results(jobs: list[JobResult]) -> dict | None:
+    """Compact column dict for ``jobs``, or ``None`` when not packable."""
+    try:
+        completions = [j.completion for j in jobs]
+        comp_index: dict[float, int] = {}
+        for i, c in enumerate(completions):
+            comp_index.setdefault(c, i)
+        starts: list = []
+        pw_totals, mh_totals, pairs_col, ncomp_col = [], [], [], []
+        for j in jobs:
+            if j.start == j.arrival:
+                starts.append(None)
+            else:
+                starts.append(comp_index.get(j.start, j.start))
+            den = j.size * (j.size - 1) / 2
+            pw_totals.append(round(j.pairwise_hops * den) if j.size > 1 else 0)
+            mh_totals.append(
+                round(j.message_hops * j.message_pairs) if j.message_pairs else 0
+            )
+            pairs_col.append(j.message_pairs)
+            ncomp_col.append(j.n_components)
+    except (TypeError, ValueError, OverflowError):
+        return None
+    return {
+        "start": starts,
+        "completion": completions,
+        "pw_total": pw_totals,
+        "mh_total": mh_totals,
+        "message_pairs": pairs_col,
+        "n_components": ncomp_col,
+    }
+
+
+def unpack_job_results(cols: dict, base_jobs: list[Job]) -> list[JobResult]:
+    """Inverse of :func:`pack_job_results` given the cell's built job list."""
+    completions = cols["completion"]
+    if len(base_jobs) != len(completions):
+        raise ValueError("packed jobs do not align with the spec's job list")
+    out = []
+    for i, j in enumerate(base_jobs):
+        start = cols["start"][i]
+        if start is None:
+            start = j.arrival
+        elif isinstance(start, int):
+            start = completions[start]
+        pairs = cols["message_pairs"][i]
+        pw = cols["pw_total"][i] / (j.size * (j.size - 1) / 2) if j.size > 1 else 0.0
+        mh = float(cols["mh_total"][i]) / pairs if pairs else 0.0
+        out.append(
+            JobResult(
+                job_id=j.job_id,
+                arrival=j.arrival,
+                start=start,
+                completion=completions[i],
+                size=j.size,
+                quota=j.quota,
+                pairwise_hops=pw,
+                message_hops=mh,
+                n_components=cols["n_components"][i],
+                message_pairs=pairs,
+            )
+        )
+    return out
+
+
+@dataclass
+class VacuumReport:
+    """What :meth:`ResultCache.vacuum` removed."""
+
+    corrupt_artifacts: int = 0
+    tmp_files: int = 0
+    orphan_traces: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.corrupt_artifacts + self.tmp_files + self.orphan_traces
 
 
 class ResultCache:
-    """Spec-keyed JSON store with hit/miss accounting.
+    """Spec-keyed artifact store with hit/miss accounting.
 
     Parameters
     ----------
     root:
         Cache directory (created lazily on first write).  ``None`` uses
-        :func:`default_cache_root`.
+        :func:`default_cache_root`.  The workload store lives in the
+        ``traces/`` subdirectory and is exposed as :attr:`traces`.
     """
 
     def __init__(self, root: str | Path | None = None):
         self.root = Path(root) if root is not None else default_cache_root()
+        self.traces = TraceStore(self.root / TRACE_STORE_DIRNAME)
         self.hits = 0
         self.misses = 0
 
     # -- key/path ------------------------------------------------------
+    def key_for(self, spec: ExperimentSpec) -> str:
+        """Cache key of ``spec`` (refs resolved through this cache's store)."""
+        return spec.cache_key(self.traces)
+
     def path_for(self, spec: ExperimentSpec) -> Path:
-        """Artifact path for ``spec``."""
-        return self.root / f"{spec.cache_key()}.json"
+        """Artifact path ``put`` would write for ``spec``."""
+        return self.root / f"{self.key_for(spec)}.json.gz"
+
+    def _candidate_paths(self, key: str) -> tuple[Path, Path]:
+        # Current format first, then the pre-refactor plain-JSON name.
+        return (self.root / f"{key}.json.gz", self.root / f"{key}.json")
 
     # -- read ----------------------------------------------------------
     def get(self, spec: ExperimentSpec) -> CellResult | None:
         """Cached result for ``spec``, or ``None`` (counted as a miss)."""
-        result = self._load(self.path_for(spec), expect=spec)
+        result = None
+        for path in self._candidate_paths(self.key_for(spec)):
+            result = self._load(path, expect=spec)
+            if result is not None:
+                break
         if result is None:
             self.misses += 1
         else:
             self.hits += 1
         return result
 
-    def _load(self, path: Path, expect: ExperimentSpec | None = None) -> CellResult | None:
+    def _read_payload(self, path: Path) -> dict | None:
+        """Raw artifact dict, or ``None`` for missing/corrupt files."""
         try:
-            with open(path) as fh:
-                data = json.load(fh)
-        except (OSError, json.JSONDecodeError):
+            if path.suffix == ".gz":
+                with gzip.open(path, "rt", encoding="utf-8") as fh:
+                    data = json.load(fh)
+            else:
+                with open(path) as fh:
+                    data = json.load(fh)
+        except (OSError, EOFError, json.JSONDecodeError, UnicodeDecodeError):
             return None
-        if data.get("format") != CACHE_FORMAT:
+        if not isinstance(data, dict) or data.get("format") not in READABLE_FORMATS:
             return None
+        return data
+
+    def _decode(self, data: dict, load_jobs: bool = True) -> CellResult | None:
+        """Artifact dict -> CellResult (``None`` when undecodable)."""
         try:
-            result = CellResult.from_dict(data, cached=True)
+            if data["format"] == 1:
+                result = CellResult.from_dict(data, cached=True)
+                if not load_jobs:
+                    result.jobs = []
+                return result
+            spec = ExperimentSpec.from_dict(data["spec"])
+            summary = summary_from_dict(data["summary"])
+            if not load_jobs:
+                jobs: list[JobResult] = []
+            elif "jobs_packed" in data:
+                base = spec.build_jobs(self.traces)
+                jobs = unpack_job_results(data["jobs_packed"], base)
+            else:
+                jobs = [_job_from_list(v) for v in data["jobs"]]
         except (KeyError, TypeError, ValueError):
             return None
-        if expect is not None and result.spec != expect:
+        return CellResult(
+            spec=spec,
+            summary=summary,
+            jobs=jobs,
+            cached=True,
+            elapsed=data.get("elapsed", 0.0),
+        )
+
+    def _load(self, path: Path, expect: ExperimentSpec | None = None) -> CellResult | None:
+        data = self._read_payload(path)
+        if data is None:
+            return None
+        result = self._decode(data)
+        if result is None:
+            return None
+        # Interned and inline forms of a cell must validate against each
+        # other, so compare the pure digest-normalised forms.
+        if expect is not None and (
+            result.spec.with_trace_digest() != expect.with_trace_digest()
+        ):
             return None
         return result
 
     # -- write ---------------------------------------------------------
     def put(self, result: CellResult) -> Path:
-        """Persist ``result``; returns the artifact path."""
+        """Persist ``result``; returns the artifact path.
+
+        The artifact references the cell's trace by digest (interning
+        inline rows into :attr:`traces`) and packs per-job rows whenever
+        the packed form decodes back bit-identically; otherwise it falls
+        back to full rows.
+        """
         self.root.mkdir(parents=True, exist_ok=True)
-        path = self.path_for(result.spec)
-        payload = {"format": CACHE_FORMAT, **result.to_dict()}
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        with open(tmp, "w") as fh:
+        spec = result.spec.intern(self.traces)
+        payload = {
+            "format": CACHE_FORMAT,
+            "spec": spec.to_dict(),
+            "summary": summary_to_dict(result.summary),
+            "elapsed": result.elapsed,
+        }
+        packed = pack_job_results(result.jobs)
+        if packed is not None:
+            try:
+                lossless = (
+                    unpack_job_results(packed, spec.build_jobs(self.traces))
+                    == result.jobs
+                )
+            except (KeyError, TypeError, ValueError):
+                lossless = False
+            if not lossless:
+                packed = None
+        if packed is not None:
+            payload["jobs_packed"] = packed
+        else:
+            payload["jobs"] = [_job_to_list(j) for j in result.jobs]
+        path = self.root / f"{spec.cache_key(self.traces)}.json.gz"
+        tmp = path.parent / f"{path.name}.tmp{os.getpid()}"
+        with gzip.open(tmp, "wt", encoding="utf-8", compresslevel=9) as fh:
             json.dump(payload, fh)
         os.replace(tmp, path)
         return path
@@ -100,14 +304,29 @@ class ResultCache:
     def _artifact_paths(self) -> Iterator[Path]:
         if not self.root.is_dir():
             return
-        yield from sorted(self.root.glob("*.json"))
+        yield from sorted(
+            list(self.root.glob("*.json")) + list(self.root.glob("*.json.gz"))
+        )
+
+    def iter_entries(self, load_jobs: bool = True) -> Iterator[tuple[Path, CellResult]]:
+        """Every readable ``(path, artifact)`` pair in the cache.
+
+        ``load_jobs=False`` skips per-job reconstruction (cheap header
+        scan for listings and summary analyses); unreadable files are
+        skipped either way.
+        """
+        for path in self._artifact_paths():
+            data = self._read_payload(path)
+            if data is None:
+                continue
+            result = self._decode(data, load_jobs=load_jobs)
+            if result is not None:
+                yield path, result
 
     def iter_results(self) -> Iterator[CellResult]:
         """Every readable artifact in the cache (unreadable files skipped)."""
-        for path in self._artifact_paths():
-            result = self._load(path)
-            if result is not None:
-                yield result
+        for _, result in self.iter_entries():
+            yield result
 
     def clear(self) -> int:
         """Delete all artifacts; returns how many were removed."""
@@ -116,6 +335,86 @@ class ResultCache:
             path.unlink(missing_ok=True)
             removed += 1
         return removed
+
+    def prune(self, older_than_days: float, dry_run: bool = False) -> list[Path]:
+        """Artifacts last written more than ``older_than_days`` ago.
+
+        Deletes them unless ``dry_run``; returns the affected paths.
+        Follow with :meth:`vacuum` to drop traces no artifact references
+        any more.
+        """
+        cutoff = time.time() - older_than_days * 86400.0
+        stale = []
+        for path in list(self._artifact_paths()):
+            try:
+                if path.stat().st_mtime < cutoff:
+                    stale.append(path)
+            except OSError:
+                continue
+        if not dry_run:
+            for path in stale:
+                path.unlink(missing_ok=True)
+        return stale
+
+    def referenced_digests(self) -> set[str]:
+        """Trace digests referenced by any readable artifact."""
+        refs: set[str] = set()
+        for path in self._artifact_paths():
+            data = self._read_payload(path)
+            if data is None:
+                continue
+            digest = (data.get("spec") or {}).get("trace_ref")
+            if digest:
+                refs.add(digest)
+        return refs
+
+    def vacuum(
+        self, dry_run: bool = False, orphan_grace_days: float = 1.0
+    ) -> VacuumReport:
+        """Remove dead weight: corrupt artifacts, temp leftovers, orphan traces.
+
+        An artifact is corrupt when its payload cannot be decoded (bad
+        JSON/format, unparseable spec, or a trace ref missing from the
+        workload store); a trace is orphaned when no remaining readable
+        artifact references it *and* it is older than
+        ``orphan_grace_days``.  The grace window protects traces interned
+        ahead of their artifacts -- a staged ingest, or a sweep still in
+        flight whose cells haven't landed yet.
+        """
+        report = VacuumReport()
+        referenced: set[str] = set()
+        for path in list(self._artifact_paths()):
+            data = self._read_payload(path)
+            ok = data is not None and self._decode(data, load_jobs=False) is not None
+            digest = (data.get("spec") or {}).get("trace_ref") if ok else None
+            if digest is not None and digest not in self.traces:
+                ok = False
+            if not ok:
+                report.corrupt_artifacts += 1
+                if not dry_run:
+                    path.unlink(missing_ok=True)
+            elif digest is not None:
+                referenced.add(digest)
+        if self.root.is_dir():
+            for tmp in list(self.root.glob("*.tmp*")) + list(
+                self.traces.root.glob("*.tmp*") if self.traces.root.is_dir() else []
+            ):
+                report.tmp_files += 1
+                if not dry_run:
+                    tmp.unlink(missing_ok=True)
+        cutoff = time.time() - orphan_grace_days * 86400.0
+        for digest in list(self.traces.digests()):
+            if digest in referenced:
+                continue
+            try:
+                if self.traces.path_for(digest).stat().st_mtime > cutoff:
+                    continue
+            except OSError:
+                continue
+            report.orphan_traces += 1
+            if not dry_run:
+                self.traces.remove(digest)
+        return report
 
     def stats_line(self) -> str:
         """One-line accounting summary (printed by the CLI)."""

@@ -11,6 +11,14 @@ specs coalesced, then the remaining cells dispatched to a
 ``multiprocessing.Pool`` in chunks (``jobs <= 1`` runs serially
 in-process, which is also the fallback the determinism tests compare
 against).  Results always come back in spec order.
+
+Specs carrying an inline explicit trace are *interned* on submission
+whenever a workload store is available (the cache's sibling store by
+default): the rows are written once to the content-addressed store and
+workers receive a digest-sized ref spec instead of re-pickling thousands
+of rows per cell.  Interning is cache-key neutral (see
+:meth:`~repro.runner.spec.ExperimentSpec.cache_key`), so results and
+artifacts are identical either way.
 """
 
 from __future__ import annotations
@@ -28,6 +36,7 @@ from repro.runner.cache import ResultCache
 from repro.runner.spec import CellResult, ExperimentSpec
 from repro.sched.simulator import Simulation
 from repro.sched.stats import summarize
+from repro.trace.store import TraceStore
 
 __all__ = [
     "run_cell",
@@ -56,8 +65,13 @@ def mixed_pattern_selector(seed: int) -> Callable:
     return select
 
 
-def run_cell(spec: ExperimentSpec) -> CellResult:
-    """Execute one cell; deterministic in the spec alone."""
+def run_cell(spec: ExperimentSpec, store: TraceStore | None = None) -> CellResult:
+    """Execute one cell; deterministic in the spec alone.
+
+    ``store`` hydrates ref specs (``trace_ref``); inline and synthetic
+    specs never touch it.  ``None`` falls back to the default workload
+    store under ``$REPRO_CACHE_DIR``/``.repro-cache``.
+    """
     start = time.perf_counter()
     if spec.pattern == MIXED_A2A_NBODY:
         pattern = mixed_pattern_selector(spec.seed)
@@ -69,7 +83,7 @@ def run_cell(spec: ExperimentSpec) -> CellResult:
         mesh_from_shape(spec.mesh_shape, torus=spec.torus),
         make_allocator(spec.allocator),
         pattern,
-        spec.build_jobs(),
+        spec.build_jobs(store),
         params=spec.network_params(),
         seed=spec.seed,
         load_factor=spec.load,
@@ -85,9 +99,16 @@ def run_cell(spec: ExperimentSpec) -> CellResult:
     )
 
 
-def _worker(spec: ExperimentSpec) -> CellResult:
-    """Pool entry point (top-level so it pickles under spawn too)."""
-    return run_cell(spec)
+def _worker(payload: tuple[ExperimentSpec, str | None]) -> CellResult:
+    """Pool entry point (top-level so it pickles under spawn too).
+
+    ``payload`` is ``(spec, store_root)``: the store location rides along
+    explicitly because workers must hydrate ref specs against the same
+    store the parent interned into (which need not be the default root).
+    """
+    spec, store_root = payload
+    store = TraceStore(store_root) if store_root is not None else None
+    return run_cell(spec, store=store)
 
 
 def run_many(
@@ -95,6 +116,7 @@ def run_many(
     jobs: int = 1,
     cache: ResultCache | None = None,
     progress: Callable[[int, int, CellResult], None] | None = None,
+    store: TraceStore | None = None,
 ) -> list[CellResult]:
     """Run every spec, in parallel, reusing cached cells.
 
@@ -111,11 +133,26 @@ def run_many(
     progress:
         Optional ``callback(done, total, cell)`` fired as cells resolve
         (cache hits first, then computed cells in completion order).
+    store:
+        Workload store used to intern inline explicit traces before
+        dispatch and to hydrate ref specs.  Defaults to the cache's
+        sibling store; with neither cache nor store, inline specs are
+        dispatched as-is (ref specs then hydrate from the default store).
+
+    Notes
+    -----
+    Cells computed for an interned spec come back carrying the ref form
+    in ``CellResult.spec``; it is the same cell (identical cache key and
+    results) in the compact representation.
     """
     spec_list = list(specs)
     total = len(spec_list)
     results: list[CellResult | None] = [None] * total
     done = 0
+
+    if store is None and cache is not None:
+        store = cache.traces
+    store_root = str(store.root) if store is not None else None
 
     def resolve(index: int, cell: CellResult) -> None:
         nonlocal done
@@ -125,12 +162,16 @@ def run_many(
             progress(done, total, cell)
 
     # Cache pass + duplicate coalescing: identical specs compute once.
+    # Interning the explicit trace (when a store is available) shrinks
+    # the per-cell worker payload from O(trace) to O(1).
     pending: dict[ExperimentSpec, list[int]] = {}
     for i, spec in enumerate(spec_list):
         hit = cache.get(spec) if cache is not None else None
         if hit is not None:
             resolve(i, hit)
         else:
+            if store is not None:
+                spec = spec.intern(store)
             pending.setdefault(spec, []).append(i)
 
     def fan_out(cell: CellResult) -> None:
@@ -144,12 +185,13 @@ def run_many(
     if n_workers > 1:
         # Chunked dispatch amortises pickling without starving workers.
         chunksize = max(1, len(work) // (n_workers * 4))
+        payloads = [(spec, store_root) for spec in work]
         with multiprocessing.Pool(processes=n_workers) as pool:
-            for cell in pool.imap_unordered(_worker, work, chunksize=chunksize):
+            for cell in pool.imap_unordered(_worker, payloads, chunksize=chunksize):
                 fan_out(cell)
     else:
         for spec in work:
-            fan_out(run_cell(spec))
+            fan_out(run_cell(spec, store=store))
 
     assert all(r is not None for r in results)
     return results  # type: ignore[return-value]
@@ -166,10 +208,13 @@ def sweep_specs(
     trace=None,
     network=None,
     torus: bool = False,
+    trace_ref: str | None = None,
 ) -> list[ExperimentSpec]:
     """The figure-grid spec list, in the drivers' canonical cell order
     (pattern-major, then load, then allocator).  ``mesh_shape`` may be a
-    2- or 3-tuple; ``torus`` wraps opposite faces (fig12's 8x8x8 torus)."""
+    2- or 3-tuple; ``torus`` wraps opposite faces (fig12's 8x8x8 torus);
+    the explicit workload may be inline rows (``trace``) or an interned
+    digest (``trace_ref``)."""
     return [
         ExperimentSpec(
             mesh_shape=tuple(mesh_shape),
@@ -182,6 +227,7 @@ def sweep_specs(
             trace=trace,
             network=network,
             torus=torus,
+            trace_ref=trace_ref,
         )
         for pattern in patterns
         for load in loads

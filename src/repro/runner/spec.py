@@ -8,6 +8,15 @@ dedup keys) and round-trip through JSON, which is what makes both the
 multiprocessing fan-out and the on-disk cache possible: workers rebuild
 the whole cell from the spec alone, and the cache keys artifacts by the
 SHA-256 of the spec's canonical JSON form.
+
+Explicit traces come in two interchangeable forms: inline rows
+(``trace``) or a content-address into the workload store
+(``trace_ref``, see :mod:`repro.trace.store`).  :meth:`ExperimentSpec.intern`
+converts inline to ref, :meth:`ExperimentSpec.resolve` converts back, and
+:meth:`ExperimentSpec.cache_key` resolves refs before hashing -- so both
+forms of the same cell share one byte-identical cache key, which is what
+lets the engine intern traces without invalidating any pre-existing
+``.repro-cache/`` artifact.
 """
 
 from __future__ import annotations
@@ -15,11 +24,12 @@ from __future__ import annotations
 import hashlib
 import json
 import math
-from dataclasses import asdict, dataclass, field, fields
+from dataclasses import asdict, dataclass, field, fields, replace
 
 from repro.network.fluid import NetworkParams
 from repro.sched.job import Job, JobResult
 from repro.sched.stats import RunSummary
+from repro.trace.store import TraceStore, canonical_trace, default_store, trace_digest
 
 __all__ = [
     "ExperimentSpec",
@@ -30,6 +40,12 @@ __all__ = [
 
 #: Serialized base-trace row: (job_id, arrival, size, runtime).
 TraceRow = tuple[int, float, int, float]
+
+_HEX_DIGITS = set("0123456789abcdef")
+
+
+def _is_digest(value: str) -> bool:
+    return isinstance(value, str) and len(value) == 64 and set(value) <= _HEX_DIGITS
 
 
 @dataclass(frozen=True)
@@ -60,6 +76,12 @@ class ExperimentSpec:
         Optional explicit base trace as ``(job_id, arrival, size,
         runtime)`` tuples, *before* load contraction -- used for SWF
         traces and the boosted Fig 9/10 workload.
+    trace_ref:
+        Content address (SHA-256 digest) of an explicit base trace in the
+        workload store, the interned alternative to ``trace`` (exactly one
+        of the two may be set).  Ref specs pickle in a few hundred bytes
+        regardless of trace length, which is what makes ``--scale full``
+        fan-out cheap.
     network:
         Non-default fluid-network parameters as sorted ``(name, value)``
         pairs (see :meth:`from_network_params`); ``None`` means the
@@ -79,14 +101,16 @@ class ExperimentSpec:
     network: tuple[tuple[str, float | None], ...] | None = None
     scheduler: str = "fcfs"
     torus: bool = False
+    trace_ref: str | None = None
 
     def __post_init__(self) -> None:
-        # Normalise list inputs so hashing/equality always work.
+        # Normalise list inputs so hashing/equality always work.  Trace
+        # rows are also type-normalised to (int, float, int, float) so the
+        # inline form, the store's canonical form, and the cache key all
+        # agree byte-for-byte.
         object.__setattr__(self, "mesh_shape", tuple(self.mesh_shape))
         if self.trace is not None:
-            object.__setattr__(
-                self, "trace", tuple(tuple(row) for row in self.trace)
-            )
+            object.__setattr__(self, "trace", canonical_trace(self.trace))
         if self.network is not None:
             object.__setattr__(
                 self, "network", tuple(tuple(kv) for kv in self.network)
@@ -97,16 +121,42 @@ class ExperimentSpec:
             )
         if self.load <= 0:
             raise ValueError(f"load must be positive, got {self.load!r}")
-        if self.trace is None and self.n_jobs < 1:
+        if self.trace is not None and self.trace_ref is not None:
+            raise ValueError("trace and trace_ref are mutually exclusive")
+        if self.trace_ref is not None and not _is_digest(self.trace_ref):
+            raise ValueError(
+                f"trace_ref must be a 64-char SHA-256 hex digest, got {self.trace_ref!r}"
+            )
+        if self.trace is None and self.trace_ref is None and self.n_jobs < 1:
             raise ValueError("specs without an explicit trace need n_jobs >= 1")
 
     # -- workload ------------------------------------------------------
-    def build_jobs(self) -> list[Job]:
+    @property
+    def has_explicit_trace(self) -> bool:
+        """Whether the cell replays an explicit base trace (either form)."""
+        return self.trace is not None or self.trace_ref is not None
+
+    def base_trace(self, store: TraceStore | None = None) -> tuple[TraceRow, ...]:
+        """The explicit base trace rows, hydrating refs from ``store``.
+
+        ``store`` defaults to the workload store under the default cache
+        root; raises :class:`ValueError` for synthetic specs and
+        :class:`KeyError` for refs missing from the store.
+        """
+        if self.trace is not None:
+            return self.trace
+        if self.trace_ref is None:
+            raise ValueError("spec has no explicit trace")
+        return (store if store is not None else default_store()).get(self.trace_ref)
+
+    def build_jobs(self, store: TraceStore | None = None) -> list[Job]:
         """Materialise the cell's job list (deterministic in the spec).
 
         Mirrors the sweep drivers exactly: base trace, then
         :func:`~repro.trace.synthetic.drop_oversized` for the mesh, then
-        :func:`~repro.trace.synthetic.apply_load_factor`.
+        :func:`~repro.trace.synthetic.apply_load_factor`.  Ref specs
+        hydrate their rows from ``store`` (default workload store when
+        ``None``).
         """
         from repro.trace.synthetic import (
             apply_load_factor,
@@ -114,14 +164,44 @@ class ExperimentSpec:
             sdsc_paragon_trace,
         )
 
-        if self.trace is not None:
-            base = [Job(int(j), float(a), int(s), float(r)) for j, a, s, r in self.trace]
+        if self.has_explicit_trace:
+            rows = self.base_trace(store)
+            base = [Job(int(j), float(a), int(s), float(r)) for j, a, s, r in rows]
         else:
             base = sdsc_paragon_trace(
                 seed=self.seed, n_jobs=self.n_jobs, runtime_scale=self.runtime_scale
             )
         n_nodes = math.prod(self.mesh_shape)
         return apply_load_factor(drop_oversized(base, n_nodes), self.load)
+
+    # -- trace interning -----------------------------------------------
+    def intern(self, store: TraceStore) -> "ExperimentSpec":
+        """Ref form of this spec: inline rows moved into ``store``.
+
+        No-op for synthetic and already-interned specs.  The returned spec
+        has the byte-identical cache key of the original (the key is
+        computed over the resolved inline form either way).
+        """
+        if self.trace is None:
+            return self
+        return replace(self, trace=None, trace_ref=store.put(self.trace))
+
+    def resolve(self, store: TraceStore | None = None) -> "ExperimentSpec":
+        """Inline form of this spec: ref hydrated back to explicit rows."""
+        if self.trace_ref is None:
+            return self
+        return replace(self, trace=self.base_trace(store), trace_ref=None)
+
+    def with_trace_digest(self) -> "ExperimentSpec":
+        """Digest-normalised form (pure -- no store access).
+
+        Inline rows are replaced by their content address, so the two
+        forms of the same cell compare equal; used by the cache to
+        validate artifacts against requesting specs.
+        """
+        if self.trace is None:
+            return self
+        return replace(self, trace=None, trace_ref=trace_digest(self.trace))
 
     # -- network parameters --------------------------------------------
     def network_params(self) -> NetworkParams:
@@ -146,10 +226,10 @@ class ExperimentSpec:
     def to_dict(self) -> dict:
         """JSON-ready dict (tuples become lists).
 
-        ``torus`` is serialized only when set: the default (False) is
-        omitted so 2-D mesh specs -- and therefore their cache keys and
-        every pre-refactor ``.repro-cache/`` artifact -- are unchanged by
-        the N-D generalisation.
+        ``torus`` and ``trace_ref`` are serialized only when set: the
+        defaults are omitted so 2-D inline specs -- and therefore their
+        cache keys and every pre-refactor ``.repro-cache/`` artifact --
+        are unchanged by the N-D and trace-store refactors.
         """
         out = {
             "mesh_shape": list(self.mesh_shape),
@@ -165,6 +245,8 @@ class ExperimentSpec:
         }
         if self.torus:
             out["torus"] = True
+        if self.trace_ref is not None:
+            out["trace_ref"] = self.trace_ref
         return out
 
     @classmethod
@@ -186,17 +268,25 @@ class ExperimentSpec:
             else tuple(tuple(kv) for kv in data["network"]),
             scheduler=data.get("scheduler", "fcfs"),
             torus=data.get("torus", False),
+            trace_ref=data.get("trace_ref"),
         )
 
-    def cache_key(self) -> str:
-        """SHA-256 hex digest of the canonical JSON form."""
-        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+    def cache_key(self, store: TraceStore | None = None) -> str:
+        """SHA-256 hex digest of the canonical *inline* JSON form.
+
+        Ref specs resolve their trace from ``store`` (default workload
+        store when ``None``) before hashing, so interning is cache-key
+        neutral: both forms of a cell address the same artifact, and every
+        pre-refactor inline key is byte-identical.
+        """
+        spec = self.resolve(store) if self.trace_ref is not None else self
+        canonical = json.dumps(spec.to_dict(), sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode()).hexdigest()
 
     @staticmethod
     def from_trace(jobs: list[Job]) -> tuple[TraceRow, ...]:
         """Serialize an explicit base trace for the ``trace`` field."""
-        return tuple((j.job_id, j.arrival, j.size, j.runtime) for j in jobs)
+        return canonical_trace((j.job_id, j.arrival, j.size, j.runtime) for j in jobs)
 
 
 # ----------------------------------------------------------------------

@@ -52,6 +52,12 @@ class JobResult:
     total time it spent in the system").  ``duration`` is the service time
     (completion - start); ``stretch`` is duration relative to the
     contention-free minimum (quota seconds at the nominal rate).
+
+    ``message_pairs`` is the length of the job's pattern cycle (messages
+    per cycle); together with the job size it makes both hop metrics exact
+    integer ratios -- ``pairwise_hops * size*(size-1)/2`` and
+    ``message_hops * message_pairs`` are whole hop counts, which is what
+    lets cache artifacts store them losslessly as integers.
     """
 
     job_id: int
@@ -63,6 +69,7 @@ class JobResult:
     pairwise_hops: float
     message_hops: float
     n_components: int
+    message_pairs: int = 0
 
     @property
     def response(self) -> float:

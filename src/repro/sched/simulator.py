@@ -48,6 +48,7 @@ class _ActiveJob:
     pairwise_hops: float = 0.0
     message_hops: float = 0.0
     n_components: int = 1
+    message_pairs: int = 0
 
 
 @dataclass
@@ -242,6 +243,7 @@ class Simulation:
                 pairwise_hops=average_pairwise_hops(self.mesh, allocation.nodes),
                 message_hops=hops,
                 n_components=n_components(self.mesh, allocation.nodes),
+                message_pairs=len(pairs),
             )
             active[job.job_id] = record
             network.add_flow(job.job_id, load, hops)
@@ -352,6 +354,7 @@ class Simulation:
                         pairwise_hops=rec.pairwise_hops,
                         message_hops=rec.message_hops,
                         n_components=rec.n_components,
+                        message_pairs=rec.message_pairs,
                     )
                 )
                 changed = True

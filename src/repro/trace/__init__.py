@@ -13,10 +13,14 @@ not available offline; see DESIGN.md substitution #1):
 
 :func:`~repro.trace.synthetic.sdsc_paragon_trace` generates the matched
 trace; :mod:`repro.trace.swf` reads/writes Standard Workload Format so the
-real trace (or any other) can be dropped in unchanged.
+real trace (or any other) can be dropped in unchanged;
+:mod:`repro.trace.archive` normalises real Parallel Workloads Archive logs
+into the content-addressed workload store (:mod:`repro.trace.store`) that
+specs, workers and cache artifacts reference by digest.
 """
 
-from repro.trace.swf import read_swf, write_swf
+from repro.trace.store import TraceStore, default_store, trace_digest
+from repro.trace.swf import SwfParseReport, parse_swf, read_swf, write_swf
 from repro.trace.synthetic import (
     SyntheticTraceConfig,
     apply_load_factor,
@@ -27,7 +31,12 @@ from repro.trace.synthetic import (
 
 __all__ = [
     "read_swf",
+    "parse_swf",
+    "SwfParseReport",
     "write_swf",
+    "TraceStore",
+    "default_store",
+    "trace_digest",
     "SyntheticTraceConfig",
     "synthetic_trace",
     "sdsc_paragon_trace",

@@ -4,7 +4,16 @@ SWF is the Feitelson-archive format the real SDSC Paragon trace ships in
 (the paper cites Windisch et al.'s comparison of those traces).  Each
 non-comment line has 18 whitespace-separated fields; this reproduction
 needs fields 2 (submit time), 4 (run time), and 5 (allocated processors),
-falling back to field 8 (requested processors) when 5 is -1.
+falling back to field 8 (requested processors) when 5 is -1 and to field 9
+(requested time) when the run time is -1.
+
+Real archive logs are messier than the spec: comment/header blocks,
+records with trailing optional fields missing, ``-1`` sentinels for
+unknown values, and zero-processor entries for cancelled jobs.
+:func:`parse_swf` handles all of these and returns an exact accounting of
+what was dropped and why (:class:`SwfParseReport`); :func:`read_swf` is
+the historical convenience wrapper that surfaces the accounting as a
+single :class:`UserWarning` instead of dropping records silently.
 
 Supporting the real format means a user with the actual trace file can run
 every experiment driver on it unchanged (``--trace path.swf`` in the CLI).
@@ -12,12 +21,14 @@ every experiment driver on it unchanged (``--trace path.swf`` in the CLI).
 
 from __future__ import annotations
 
+import warnings
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, TextIO
 
 from repro.sched.job import Job
 
-__all__ = ["read_swf", "write_swf", "SWF_FIELDS"]
+__all__ = ["read_swf", "parse_swf", "SwfParseReport", "write_swf", "SWF_FIELDS"]
 
 #: The 18 SWF fields, in order (index = field number - 1).
 SWF_FIELDS = (
@@ -41,51 +52,144 @@ SWF_FIELDS = (
     "think_time",
 )
 
+#: Minimum fields a record line must carry to be interpretable at all
+#: (through ``allocated_processors``); shorter lines are malformed.
+_MIN_FIELDS = 5
 
-def _parse_line(line: str, lineno: int) -> Job | None:
-    parts = line.split()
-    if len(parts) != len(SWF_FIELDS):
+#: Comment markers seen in the wild (``;`` is the spec; ``#`` occurs in
+#: hand-edited copies).
+_COMMENT_PREFIXES = (";", "#")
+
+
+@dataclass
+class SwfParseReport:
+    """Exact accounting of one SWF parse.
+
+    ``dropped`` maps a drop reason to its record count:
+
+    * ``"missing_size"`` -- both processor fields are ``-1``/absent,
+    * ``"zero_size"`` -- a processor count of 0 (cancelled-before-start),
+    * ``"missing_runtime"`` -- run time and requested time both unknown,
+    * ``"missing_submit"`` -- negative/unknown submit time.
+    """
+
+    n_lines: int = 0
+    n_comments: int = 0
+    n_records: int = 0
+    n_jobs: int = 0
+    n_padded: int = 0
+    dropped: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def n_dropped(self) -> int:
+        """Total records dropped across all reasons."""
+        return sum(self.dropped.values())
+
+    def _drop(self, reason: str) -> None:
+        self.dropped[reason] = self.dropped.get(reason, 0) + 1
+
+    def summary(self) -> str:
+        """One-line human summary (what :func:`read_swf` warns with)."""
+        parts = [f"{self.n_jobs} jobs from {self.n_records} records"]
+        if self.n_dropped:
+            detail = ", ".join(f"{n} {reason}" for reason, n in sorted(self.dropped.items()))
+            parts.append(f"dropped {self.n_dropped} ({detail})")
+        if self.n_padded:
+            parts.append(f"{self.n_padded} short lines padded")
+        return "; ".join(parts)
+
+
+def _parse_record(parts: list[str], lineno: int, report: SwfParseReport) -> Job | None:
+    if len(parts) > len(SWF_FIELDS):
         raise ValueError(
-            f"SWF line {lineno}: expected {len(SWF_FIELDS)} fields, "
+            f"SWF line {lineno}: expected at most {len(SWF_FIELDS)} fields, "
             f"got {len(parts)}"
         )
+    if len(parts) < _MIN_FIELDS:
+        raise ValueError(
+            f"SWF line {lineno}: expected at least {_MIN_FIELDS} fields, "
+            f"got {len(parts)}"
+        )
+    if len(parts) < len(SWF_FIELDS):
+        # Trailing optional fields missing: treat them as unknown (-1).
+        parts = parts + ["-1"] * (len(SWF_FIELDS) - len(parts))
+        report.n_padded += 1
+
     submit = float(parts[1])
     run_time = float(parts[3])
-    procs = int(parts[4])
-    if procs <= 0:
-        procs = int(parts[7])  # fall back to requested processors
-    if procs <= 0 or run_time < 0 or submit < 0:
-        return None  # unusable record (cancelled job etc.)
+    procs = int(float(parts[4]))
+    requested_procs = int(float(parts[7]))
+    requested_time = float(parts[8])
+
+    if procs < 0:
+        procs = requested_procs  # -1 sentinel: fall back to the request
+    if procs < 0:
+        report._drop("missing_size")
+        return None
+    if procs == 0:
+        report._drop("zero_size")
+        return None
+    if run_time < 0:
+        run_time = requested_time  # -1 sentinel: fall back to the estimate
+    if run_time < 0:
+        report._drop("missing_runtime")
+        return None
+    if submit < 0:
+        report._drop("missing_submit")
+        return None
     return Job(job_id=-1, arrival=submit, size=procs, runtime=run_time)
 
 
-def read_swf(source: str | Path | TextIO) -> list[Job]:
-    """Parse an SWF file into :class:`Job` records.
+def parse_swf(source: str | Path | TextIO) -> tuple[list[Job], SwfParseReport]:
+    """Parse an SWF file into :class:`Job` records plus an exact accounting.
 
-    Comment/header lines start with ``;``.  Records with missing processor
-    counts or negative times are skipped (as workload-archive tooling
-    does).  Jobs are re-identified densely in arrival order and arrival
-    times are shifted so the first job arrives at 0.
+    Comment/header lines start with ``;`` (or ``#``).  Records whose
+    mandatory values are unknown even after the documented ``-1``
+    fallbacks are dropped and *counted* in the report, never silently.
+    Jobs are re-identified densely in arrival order and arrival times are
+    shifted so the first job arrives at 0.
+
+    Raises :class:`ValueError` for lines that are not SWF at all (fewer
+    than 5 or more than 18 fields).
     """
     if isinstance(source, (str, Path)):
         with open(source, "r", encoding="utf-8") as fh:
-            return read_swf(fh)
+            return parse_swf(fh)
+    report = SwfParseReport()
     jobs: list[Job] = []
     for lineno, raw in enumerate(source, start=1):
         line = raw.strip()
-        if not line or line.startswith(";"):
+        report.n_lines += 1
+        if not line:
             continue
-        job = _parse_line(line, lineno)
+        if line.startswith(_COMMENT_PREFIXES):
+            report.n_comments += 1
+            continue
+        report.n_records += 1
+        job = _parse_record(line.split(), lineno, report)
         if job is not None:
             jobs.append(job)
     jobs.sort(key=lambda j: j.arrival)
-    if not jobs:
-        return []
-    t0 = jobs[0].arrival
-    return [
+    t0 = jobs[0].arrival if jobs else 0.0
+    out = [
         Job(job_id=i, arrival=j.arrival - t0, size=j.size, runtime=j.runtime)
         for i, j in enumerate(jobs)
     ]
+    report.n_jobs = len(out)
+    return out, report
+
+
+def read_swf(source: str | Path | TextIO) -> list[Job]:
+    """Parse an SWF file, warning (not silently skipping) on dropped records.
+
+    Thin wrapper over :func:`parse_swf` for callers that only want the
+    jobs; unusable records raise a :class:`UserWarning` carrying the
+    per-reason counts.
+    """
+    jobs, report = parse_swf(source)
+    if report.n_dropped:
+        warnings.warn(f"SWF parse: {report.summary()}", stacklevel=2)
+    return jobs
 
 
 def write_swf(

@@ -31,7 +31,7 @@ class TestCli:
         assert set(EXPERIMENTS) == {
             "fig1", "fig2", "fig4", "fig5", "fig6",
             "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
-            "hybrid", "contiguous",
+            "figswf", "hybrid", "contiguous",
         }
 
     def test_swf_trace_input(self, tmp_path, capsys, monkeypatch):
@@ -95,7 +95,7 @@ class TestEngineFlags:
         second = capsys.readouterr().out
         assert "hits=12" in second and "misses=0" in second
         assert _report_body(second) == _report_body(first)
-        assert len(list(default_cache_root().glob("*.json"))) == 12
+        assert len(list(default_cache_root().glob("*.json.gz"))) == 12
 
     def test_no_cache_flag_disables_artifacts(self, tiny_scale, capsys):
         assert main(["fig11", "--no-cache"]) == 0
@@ -108,7 +108,7 @@ class TestEngineFlags:
         assert main(["fig11", "--cache-dir", str(custom)]) == 0
         out = capsys.readouterr().out
         assert f"dir={custom}" in out
-        assert len(list(custom.glob("*.json"))) == 12
+        assert len(list(custom.glob("*.json.gz"))) == 12
         assert not default_cache_root().exists()
 
     def test_invalid_jobs_rejected(self, capsys):

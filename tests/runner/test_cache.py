@@ -1,9 +1,27 @@
 """Tests for the on-disk result cache."""
 
+import gzip
 import json
 
 from repro.runner import ExperimentSpec, ResultCache, run_cell
 from repro.runner.cache import CACHE_FORMAT, default_cache_root
+from repro.runner.spec import summary_to_dict
+
+
+def read_artifact(path) -> dict:
+    """Decode one artifact file (gzip for the current format)."""
+    if path.suffix == ".gz":
+        with gzip.open(path, "rt") as fh:
+            return json.load(fh)
+    return json.loads(path.read_text())
+
+
+def write_artifact(path, data: dict) -> None:
+    if path.suffix == ".gz":
+        with gzip.open(path, "wt") as fh:
+            json.dump(data, fh)
+    else:
+        path.write_text(json.dumps(data))
 
 
 def _spec(**overrides) -> ExperimentSpec:
@@ -51,9 +69,9 @@ class TestResultCache:
         cache = ResultCache(tmp_path / "c")
         spec = _spec()
         path = cache.put(run_cell(spec))
-        data = json.loads(path.read_text())
+        data = read_artifact(path)
         data["format"] = CACHE_FORMAT + 1
-        path.write_text(json.dumps(data))
+        write_artifact(path, data)
         assert cache.get(spec) is None
 
     def test_len_iter_clear(self, tmp_path):
@@ -81,3 +99,100 @@ class TestResultCache:
         cache.get(_spec())
         assert "hits=0" in cache.stats_line()
         assert "misses=1" in cache.stats_line()
+
+
+TRACE = tuple((i, 30.0 * i, 2 ** (i % 5), 20.0 + i) for i in range(40))
+
+
+class TestCompactArtifacts:
+    """Format-2 artifacts: ref specs, packed jobs, gzip -- all lossless."""
+
+    def _trace_spec(self, **overrides) -> ExperimentSpec:
+        base = dict(
+            mesh_shape=(8, 8),
+            pattern="all-to-all",
+            allocator="hilbert+bf",
+            load=1.0,
+            seed=5,
+            trace=TRACE,
+        )
+        base.update(overrides)
+        return ExperimentSpec(**base)
+
+    def test_artifact_does_not_embed_trace_rows(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        path = cache.put(run_cell(self._trace_spec()))
+        data = read_artifact(path)
+        assert data["format"] == CACHE_FORMAT
+        assert data["spec"].get("trace") is None
+        assert data["spec"]["trace_ref"] in cache.traces
+        assert "jobs_packed" in data and "jobs" not in data
+
+    def test_hit_is_bit_identical_to_computed(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        spec = self._trace_spec()
+        cell = run_cell(spec)
+        cache.put(cell)
+        hit = ResultCache(tmp_path / "c").get(spec)
+        assert hit is not None
+        assert hit.summary == cell.summary
+        assert hit.jobs == cell.jobs  # exact float equality, field by field
+
+    def test_synthetic_cells_also_pack(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        cell = run_cell(_spec())
+        path = cache.put(cell)
+        assert "jobs_packed" in read_artifact(path)
+        hit = cache.get(_spec())
+        assert hit.jobs == cell.jobs
+
+    def test_unpackable_jobs_fall_back_to_full_rows(self, tmp_path):
+        from repro.sched.job import JobResult
+
+        cache = ResultCache(tmp_path / "c")
+        cell = run_cell(_spec())
+        # duplicate job ids cannot be packed (no unique trace row to rebuild from)
+        cell.jobs = cell.jobs + [cell.jobs[0]]
+        path = cache.put(cell)
+        data = read_artifact(path)
+        assert "jobs" in data and "jobs_packed" not in data
+        hit = cache.get(_spec())
+        assert hit.jobs == cell.jobs
+        assert all(isinstance(j, JobResult) for j in hit.jobs)
+
+    def test_legacy_format1_artifact_still_readable(self, tmp_path):
+        """A pre-refactor artifact (inline spec, full job rows, plain JSON
+        under <key>.json) must keep serving hits."""
+        from repro.runner.spec import _job_to_list
+
+        cache = ResultCache(tmp_path / "c")
+        spec = self._trace_spec()
+        cell = run_cell(spec)
+        legacy = {
+            "format": 1,
+            "spec": spec.to_dict(),
+            "summary": summary_to_dict(cell.summary),
+            # pre-refactor JobResult had 9 fields (no message_pairs)
+            "jobs": [_job_to_list(j)[:9] for j in cell.jobs],
+            "elapsed": 0.5,
+        }
+        legacy_path = cache.root / f"{spec.cache_key()}.json"
+        cache.root.mkdir(parents=True)
+        legacy_path.write_text(json.dumps(legacy))
+        hit = cache.get(spec)
+        assert hit is not None and hit.cached
+        assert hit.summary == cell.summary
+        # short rows pad the new field with its default
+        assert all(j.message_pairs == 0 for j in hit.jobs)
+        assert [_job_to_list(j)[:9] for j in hit.jobs] == [
+            _job_to_list(j)[:9] for j in cell.jobs
+        ]
+
+    def test_interned_and_inline_requests_share_artifacts(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        inline = self._trace_spec()
+        ref = inline.intern(cache.traces)
+        cache.put(run_cell(inline))
+        assert cache.get(ref) is not None
+        assert cache.get(inline) is not None
+        assert len(cache) == 1

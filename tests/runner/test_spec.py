@@ -7,6 +7,7 @@ import pytest
 from repro.runner import ExperimentSpec, run_cell
 from repro.runner.spec import CellResult, summary_from_dict, summary_to_dict
 from repro.sched.job import Job
+from repro.trace.store import TraceStore, trace_digest
 from repro.trace.synthetic import apply_load_factor, drop_oversized, sdsc_paragon_trace
 
 SPEC = ExperimentSpec(
@@ -214,6 +215,92 @@ class TestExperimentSpec3D:
         assert cell.summary.n_jobs > 0
         clone = CellResult.from_dict(json.loads(json.dumps(cell.to_dict())))
         assert clone.spec == small and clone.summary == cell.summary
+
+
+class TestTraceRefSpecs:
+    """The interned (content-addressed) form of explicit-trace specs."""
+
+    TRACE = ((0, 0.0, 4, 30.0), (1, 5.0, 8, 12.5))
+
+    def _inline(self, **overrides) -> ExperimentSpec:
+        base = dict(
+            mesh_shape=(16, 16),
+            pattern="n-body",
+            allocator="s-curve",
+            load=0.4,
+            seed=2,
+            trace=self.TRACE,
+        )
+        base.update(overrides)
+        return ExperimentSpec(**base)
+
+    def test_intern_resolve_round_trip(self, tmp_path):
+        store = TraceStore(tmp_path / "traces")
+        inline = self._inline()
+        ref = inline.intern(store)
+        assert ref.trace is None
+        assert ref.trace_ref == trace_digest(self.TRACE)
+        assert ref.resolve(store) == inline
+        assert inline.intern(store) == ref  # idempotent
+        assert ref.intern(store) == ref
+
+    def test_cache_key_is_interning_invariant(self, tmp_path):
+        """The acceptance criterion: inline keys are byte-identical to the
+        pre-refactor pins, and the ref form hashes to the same key."""
+        store = TraceStore(tmp_path / "traces")
+        inline = self._inline()
+        assert inline.cache_key() == (
+            "6fe29b7ce280438ab0523f290a72af45eff649b3b94e604c359577c4bf86a5d0"
+        )  # pinned in PRE_REFACTOR_KEYS above
+        ref = inline.intern(store)
+        assert ref.cache_key(store) == inline.cache_key()
+
+    def test_json_round_trip_preserves_ref(self, tmp_path):
+        ref = self._inline().intern(TraceStore(tmp_path / "t"))
+        clone = ExperimentSpec.from_dict(json.loads(json.dumps(ref.to_dict())))
+        assert clone == ref and clone.trace_ref == ref.trace_ref
+
+    def test_inline_dict_omits_trace_ref(self):
+        assert "trace_ref" not in self._inline().to_dict()
+        assert "trace_ref" not in SPEC.to_dict()
+
+    def test_mutually_exclusive_forms(self):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            self._inline(trace_ref="0" * 64)
+        with pytest.raises(ValueError, match="64-char"):
+            self._inline(trace=None, trace_ref="zz")
+
+    def test_with_trace_digest_is_pure_and_form_invariant(self, tmp_path):
+        inline = self._inline()
+        ref = inline.intern(TraceStore(tmp_path / "t"))
+        assert inline.with_trace_digest() == ref.with_trace_digest() == ref
+
+    def test_build_jobs_ref_equals_inline(self, tmp_path):
+        store = TraceStore(tmp_path / "traces")
+        inline = self._inline()
+        ref = inline.intern(store)
+        assert ref.build_jobs(store) == inline.build_jobs()
+
+    def test_run_cell_ref_equals_inline(self, tmp_path):
+        store = TraceStore(tmp_path / "traces")
+        inline = self._inline(pattern="ring", load=1.0)
+        ref = inline.intern(store)
+        a, b = run_cell(inline), run_cell(ref, store=store)
+        assert a.summary == b.summary
+        assert a.jobs == b.jobs
+
+    def test_missing_trace_raises_clearly(self, tmp_path):
+        ref = self._inline(trace=None, trace_ref="a" * 64)
+        with pytest.raises(KeyError, match="not in store"):
+            ref.build_jobs(TraceStore(tmp_path / "empty"))
+
+    def test_trace_rows_type_normalised(self):
+        # ints where floats belong (and vice versa) must not change the key
+        messy = ExperimentSpec(
+            **{**self._inline().to_dict(), "trace": ((0, 0, 4.0, 30), (1, 5, 8, 12.5))}
+        )
+        assert messy.trace == self._inline().trace
+        assert messy.cache_key() == self._inline().cache_key()
 
 
 class TestCellResult:

@@ -1,0 +1,122 @@
+"""Tests for SWF archive ingestion (repro.trace.archive)."""
+
+import pytest
+
+from repro.sched.job import Job
+from repro.trace.archive import (
+    PWA_LOGS,
+    bundled_mini_swf,
+    ingest_swf,
+    normalize_jobs,
+    offered_load,
+    prepare_trace,
+    rescale_to_offered_load,
+    scale_times,
+    trace_rows,
+    NormalizeReport,
+)
+from repro.trace.store import TraceStore, trace_digest
+
+JOBS = [
+    Job(0, 0.0, 4, 100.0),
+    Job(1, 10.0, 600, 50.0),   # oversized for a 512-node machine
+    Job(2, 20.0, 16, 200.0),
+]
+
+
+class TestNormalizeJobs:
+    def test_drop_oversized_counted(self):
+        report = NormalizeReport()
+        out = normalize_jobs(JOBS, max_size=512, oversized="drop", report=report)
+        assert [j.size for j in out] == [4, 16]
+        assert report.n_oversized_dropped == 1 and report.n_clamped == 0
+        assert "dropped 1 oversized" in report.summary()
+
+    def test_clamp_oversized_counted(self):
+        report = NormalizeReport()
+        out = normalize_jobs(JOBS, max_size=512, oversized="clamp", report=report)
+        assert [j.size for j in out] == [4, 512, 16]
+        assert report.n_clamped == 1 and report.n_oversized_dropped == 0
+
+    def test_rebases_ids_and_arrivals(self):
+        out = normalize_jobs([Job(7, 100.0, 2, 5.0), Job(3, 50.0, 2, 5.0)])
+        assert [j.job_id for j in out] == [0, 1]
+        assert out[0].arrival == 0.0 and out[1].arrival == 50.0
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_jobs(JOBS, max_size=512, oversized="truncate")
+
+
+class TestTimeScaling:
+    def test_scale_times_preserves_offered_load(self):
+        scaled = scale_times(JOBS, 0.01)
+        assert scaled[2].arrival == pytest.approx(0.2)
+        assert scaled[2].runtime == pytest.approx(2.0)
+        assert offered_load(scaled, 512) == pytest.approx(offered_load(JOBS, 512))
+
+    def test_rescale_to_offered_load(self):
+        jobs = normalize_jobs(JOBS, max_size=512, oversized="drop")
+        rescaled = rescale_to_offered_load(jobs, 256, target=0.5)
+        assert offered_load(rescaled, 256) == pytest.approx(0.5)
+        # runtimes untouched -- only the arrival process contracts
+        assert [j.runtime for j in rescaled] == [j.runtime for j in jobs]
+
+    def test_bad_factors_rejected(self):
+        with pytest.raises(ValueError):
+            scale_times(JOBS, 0.0)
+        with pytest.raises(ValueError):
+            rescale_to_offered_load(JOBS, 256, target=-1.0)
+
+
+class TestPrepareTrace:
+    def test_truncation_counted(self):
+        # normalization runs first, so n_jobs counts *usable* jobs: the
+        # oversized record does not eat into the observation window
+        out, report = prepare_trace(JOBS, n_jobs=2, max_size=512)
+        assert len(out) == 2
+        assert report.n_truncated == 0 and report.n_oversized_dropped == 1
+        out, report = prepare_trace(JOBS, n_jobs=1, max_size=512)
+        assert len(out) == 1
+        assert report.n_truncated == 1
+        assert report.n_input == 3 and report.n_output == 1
+
+    def test_full_pipeline_deterministic(self):
+        a, _ = prepare_trace(JOBS, n_jobs=3, time_scale=0.5, max_size=512)
+        b, _ = prepare_trace(JOBS, n_jobs=3, time_scale=0.5, max_size=512)
+        assert a == b
+
+
+class TestIngest:
+    def test_bundled_fixture_exists_and_parses(self):
+        path = bundled_mini_swf()
+        assert path.is_file()
+
+    def test_ingest_interns_and_accounts(self, tmp_path):
+        store = TraceStore(tmp_path / "traces")
+        result = ingest_swf(bundled_mini_swf(), store, n_jobs=50, time_scale=0.01,
+                            max_size=512)
+        assert result.digest in store
+        assert result.digest == trace_digest(trace_rows(result.jobs))
+        assert len(result.jobs) == 50
+        # fixture's deliberate edge cases are all accounted for
+        assert result.parse.dropped == {"missing_size": 1, "zero_size": 1}
+        assert result.parse.n_padded == 1
+        assert "jobs" in result.summary()
+
+    def test_ingest_is_idempotent(self, tmp_path):
+        store = TraceStore(tmp_path / "traces")
+        r1 = ingest_swf(bundled_mini_swf(), store, n_jobs=20, max_size=512)
+        r2 = ingest_swf(bundled_mini_swf(), store, n_jobs=20, max_size=512)
+        assert r1.digest == r2.digest
+        assert len(store) == 1
+
+    def test_fixture_oversized_job_dropped_with_count(self, tmp_path):
+        store = TraceStore(tmp_path / "traces")
+        result = ingest_swf(bundled_mini_swf(), store, max_size=512)
+        assert result.normalize.n_oversized_dropped == 1  # the 4096-node record
+        assert max(j.size for j in result.jobs) <= 512
+
+    def test_pwa_catalogue_names_the_paper_trace(self):
+        assert "sdsc-par-1996" in PWA_LOGS
+        assert all(url.startswith("https://") for url in PWA_LOGS.values())

@@ -5,7 +5,7 @@ import io
 import pytest
 
 from repro.sched.job import Job
-from repro.trace.swf import SWF_FIELDS, read_swf, write_swf
+from repro.trace.swf import SWF_FIELDS, parse_swf, read_swf, write_swf
 
 
 def swf_line(job_number, submit, run_time, procs, requested=-1):
@@ -47,19 +47,22 @@ class TestReadSwf:
         jobs = read_swf(io.StringIO(text))
         assert jobs[0].size == 8
 
-    def test_skips_unusable_records(self):
+    def test_skips_unusable_records_with_warning(self):
         text = "\n".join(
             [
                 swf_line(1, 0, 10, -1, requested=-1),  # no size at all
                 swf_line(2, 10, 10, 4),
             ]
         )
-        jobs = read_swf(io.StringIO(text))
+        with pytest.warns(UserWarning, match="missing_size"):
+            jobs = read_swf(io.StringIO(text))
         assert len(jobs) == 1
 
     def test_wrong_field_count_raises(self):
         with pytest.raises(ValueError):
             read_swf(io.StringIO("1 2 3"))
+        with pytest.raises(ValueError):  # 19 fields is not SWF either
+            read_swf(io.StringIO(" ".join(["1"] * 19)))
 
     def test_empty_file(self):
         assert read_swf(io.StringIO("; only comments\n")) == []
@@ -83,3 +86,61 @@ class TestReadSwf:
         assert len(SWF_FIELDS) == 18
         assert SWF_FIELDS[1] == "submit_time"
         assert SWF_FIELDS[4] == "allocated_processors"
+
+
+class TestParseSwfEdgeCases:
+    """Archive-reality edge cases: counted, never silent."""
+
+    def test_short_lines_padded(self):
+        # only the first 9 fields present (through requested_time)
+        line = " ".join(str(v) for v in [1, 100, -1, 3600, 16, -1, -1, 16, 3600])
+        jobs, report = parse_swf(io.StringIO(line))
+        assert len(jobs) == 1 and jobs[0].size == 16
+        assert report.n_padded == 1
+
+    def test_runtime_falls_back_to_requested_time(self):
+        fields = [-1] * 18
+        fields[0], fields[1], fields[3], fields[4], fields[8] = 1, 0, -1, 8, 7200
+        jobs, report = parse_swf(io.StringIO(" ".join(map(str, fields))))
+        assert len(jobs) == 1
+        assert jobs[0].runtime == 7200.0
+        assert report.n_dropped == 0
+
+    def test_zero_size_dropped_and_counted(self):
+        text = "\n".join([swf_line(1, 0, 10, 0), swf_line(2, 10, 10, 4)])
+        jobs, report = parse_swf(io.StringIO(text))
+        assert len(jobs) == 1
+        assert report.dropped == {"zero_size": 1}
+
+    def test_each_drop_reason_counted_separately(self):
+        text = "\n".join(
+            [
+                swf_line(1, 0, 10, -1, requested=-1),   # missing_size
+                swf_line(2, 10, 10, 0),                 # zero_size
+                swf_line(3, 20, -1, 4),                 # missing_runtime (no fallback)
+                swf_line(4, -5, 10, 4),                 # missing_submit
+                swf_line(5, 30, 10, 4),                 # good
+            ]
+        )
+        jobs, report = parse_swf(io.StringIO(text))
+        assert len(jobs) == 1
+        assert report.dropped == {
+            "missing_size": 1,
+            "zero_size": 1,
+            "missing_runtime": 1,
+            "missing_submit": 1,
+        }
+        assert report.n_dropped == 4
+        assert report.n_records == 5
+        assert "dropped 4" in report.summary()
+
+    def test_hash_comments_tolerated(self):
+        text = "\n".join(["# hand-edited header", swf_line(1, 0, 10, 4)])
+        jobs, report = parse_swf(io.StringIO(text))
+        assert len(jobs) == 1
+        assert report.n_comments == 1
+
+    def test_clean_parse_emits_no_warning(self, recwarn):
+        jobs = read_swf(io.StringIO(swf_line(1, 0, 10, 4)))
+        assert len(jobs) == 1
+        assert not [w for w in recwarn.list if issubclass(w.category, UserWarning)]
