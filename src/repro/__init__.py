@@ -7,8 +7,10 @@ the allocators (:mod:`repro.core`), the mesh machine and network substrates
 (:mod:`repro.mesh`, :mod:`repro.network`), the communication patterns
 (:mod:`repro.patterns`), the FCFS trace-driven simulator (:mod:`repro.sched`),
 the workload substrate (:mod:`repro.trace`), the parallel experiment
-engine with result caching (:mod:`repro.runner`), and drivers regenerating
-every figure and table of the paper (:mod:`repro.experiments`).
+engine with result caching (:mod:`repro.runner`), declarative campaign
+files with resumable manifests (:mod:`repro.campaign`), and drivers
+regenerating every figure and table of the paper
+(:mod:`repro.experiments`).
 
 Quickstart::
 

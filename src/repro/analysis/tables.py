@@ -7,6 +7,7 @@ from pathlib import Path
 
 __all__ = [
     "format_table",
+    "format_pivot",
     "load_cached_sweep",
     "format_cached_sweep",
     "format_mesh_comparison",
@@ -57,6 +58,61 @@ def format_table(
     lines.append("  ".join("-" * w for w in widths))
     lines.extend(render_row(r) for r in cells)
     return "\n".join(lines)
+
+
+#: Aggregations :func:`format_pivot` knows how to apply to a bucket.
+_PIVOT_AGGS = {
+    "mean": lambda vs: sum(vs) / len(vs),
+    "min": min,
+    "max": max,
+    "sum": sum,
+    "count": len,
+}
+
+
+def format_pivot(
+    rows: Iterable[Mapping],
+    row_key: str,
+    col_key: str,
+    value_key: str,
+    agg: str = "mean",
+    float_fmt: str = ".2f",
+    title: str | None = None,
+) -> str:
+    """Pivot dict rows into a ``row_key x col_key`` table of ``value_key``.
+
+    Rows sharing a (row, column) coordinate are aggregated with ``agg``
+    (``mean``/``min``/``max``/``sum``/``count``) -- e.g. averaging a
+    metric over the seed and pattern axes of a campaign when grouping by
+    mesh.  Row order follows first appearance; column order follows first
+    appearance too, so callers control both by ordering their rows.
+    """
+    if agg not in _PIVOT_AGGS:
+        raise ValueError(f"unknown agg {agg!r}; known: {sorted(_PIVOT_AGGS)}")
+    rows = list(rows)
+    buckets: dict[tuple, list] = {}
+    row_order: list = []
+    col_order: list = []
+    for row in rows:
+        r, c = row[row_key], row[col_key]
+        if r not in row_order:
+            row_order.append(r)
+        if c not in col_order:
+            col_order.append(c)
+        buckets.setdefault((r, c), []).append(row[value_key])
+    def col_label(c) -> str:
+        return f"{col_key} {c:g}" if isinstance(c, (int, float)) else str(c)
+
+    out_rows = []
+    for r in row_order:
+        out = {row_key: r}
+        for c in col_order:
+            values = buckets.get((r, c))
+            if values:
+                out[col_label(c)] = _PIVOT_AGGS[agg](values)
+        out_rows.append(out)
+    columns = [row_key] + [col_label(c) for c in col_order]
+    return format_table(out_rows, columns=columns, float_fmt=float_fmt, title=title)
 
 
 def format_mesh_comparison(

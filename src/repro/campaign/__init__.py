@@ -1,0 +1,71 @@
+"""Declarative experiment campaigns.
+
+The paper's evaluation is a *matrix* of scenarios -- communication
+patterns x allocation strategies x machine shapes x loads -- and this
+subsystem makes that matrix a data file instead of a Python driver: a
+TOML/JSON **campaign file** declares the axes, filters and per-cell
+overrides; :func:`expand` turns it into validated
+:class:`~repro.runner.spec.ExperimentSpec` cells (deduplicated by
+content digest, workloads interned into the content-addressed store);
+:func:`run_campaign` executes them on the parallel engine with a
+**manifest** next to the cache that makes interrupted campaigns resume
+warm; and the report helpers aggregate completed cells into comparison
+tables grouped by any axis.
+
+The bundled campaign files under ``repro/campaign/data/`` reproduce the
+fig07 / fig12 / figswf panels (the figure drivers are now thin shims over
+them) plus a multi-shape panel no hand-written driver covers.  CLI::
+
+    python -m repro.campaign expand fig07
+    python -m repro.campaign run    path/to/campaign.toml --jobs 4
+    python -m repro.campaign status fig07
+    python -m repro.campaign report fig07 --group-by mesh
+"""
+
+from repro.campaign.expand import CampaignCell, Expansion, SourceInfo, cell_digest, expand
+from repro.campaign.manifest import CampaignManifest, manifest_path
+from repro.campaign.model import (
+    Campaign,
+    CampaignError,
+    MeshAxis,
+    TraceSource,
+    bundled_campaign_names,
+    bundled_campaign_path,
+    load_campaign,
+    loads_campaign,
+    parse_mesh,
+)
+from repro.campaign.report import (
+    completed_cells,
+    completed_rows,
+    format_campaign_report,
+    format_campaign_status,
+    format_expansion,
+)
+from repro.campaign.runner import CampaignRun, run_campaign
+
+__all__ = [
+    "Campaign",
+    "CampaignCell",
+    "CampaignError",
+    "CampaignManifest",
+    "CampaignRun",
+    "Expansion",
+    "MeshAxis",
+    "SourceInfo",
+    "TraceSource",
+    "bundled_campaign_names",
+    "bundled_campaign_path",
+    "cell_digest",
+    "completed_cells",
+    "completed_rows",
+    "expand",
+    "format_campaign_report",
+    "format_campaign_status",
+    "format_expansion",
+    "load_campaign",
+    "loads_campaign",
+    "manifest_path",
+    "parse_mesh",
+    "run_campaign",
+]

@@ -1,0 +1,225 @@
+"""Campaign CLI: expand, run, inspect and aggregate campaign files.
+
+::
+
+    python -m repro.campaign expand CAMPAIGN            # cell table
+    python -m repro.campaign run CAMPAIGN --jobs 4      # execute (resumable)
+    python -m repro.campaign run CAMPAIGN --limit 10    # next 10 pending cells
+    python -m repro.campaign status CAMPAIGN            # manifest counts
+    python -m repro.campaign report CAMPAIGN --group-by mesh
+
+``CAMPAIGN`` is a path to a ``.toml``/``.json`` campaign file or the name
+of a bundled campaign (``fig07``, ``fig12``, ``figswf``, ``multishape``,
+``smoke`` -- see ``src/repro/campaign/data/``).  Results land in the
+standard artifact cache (``--cache-dir`` / ``$REPRO_CACHE_DIR``); the
+campaign manifest lives under ``<cache>/campaigns/`` and re-``run``\\ ning
+an interrupted campaign resumes from it with every completed cell served
+warm.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.campaign.expand import expand
+from repro.campaign.manifest import CampaignManifest, manifest_path
+from repro.campaign.model import (
+    CampaignError,
+    bundled_campaign_names,
+    bundled_campaign_path,
+    load_campaign,
+)
+from repro.campaign.report import (
+    format_campaign_report,
+    format_campaign_status,
+    format_expansion,
+)
+from repro.campaign.runner import run_campaign
+from repro.runner import ResultCache
+
+__all__ = ["main", "resolve_campaign_path"]
+
+
+def resolve_campaign_path(arg: str) -> Path:
+    """A filesystem path as-is, else a bundled campaign by name."""
+    path = Path(arg)
+    if path.is_file():
+        return path
+    try:
+        return bundled_campaign_path(arg)
+    except KeyError:
+        raise FileNotFoundError(
+            f"no campaign file {arg!r} and no bundled campaign of that name; "
+            f"bundled: {', '.join(bundled_campaign_names())}"
+        ) from None
+
+
+def _open(args) -> tuple:
+    """(campaign, cache) for a parsed command line."""
+    campaign = load_campaign(resolve_campaign_path(args.campaign))
+    cache = None if getattr(args, "no_cache", False) else ResultCache(args.cache_dir)
+    return campaign, cache
+
+
+def _manifest_for(campaign, expansion, cache) -> CampaignManifest:
+    path = (
+        manifest_path(cache.root, campaign.name, expansion.digest)
+        if cache is not None
+        else None
+    )
+    return CampaignManifest.open(path, campaign.name, expansion.digest)
+
+
+def _expand(args) -> int:
+    campaign, cache = _open(args)
+    expansion = expand(campaign, store=cache.traces if cache else None)
+    print(format_expansion(expansion, _manifest_for(campaign, expansion, cache)))
+    return 0
+
+
+def _run(args) -> int:
+    campaign, cache = _open(args)
+
+    def progress(done: int, total: int, cell) -> None:
+        if not args.quiet:
+            tag = "cache" if cell.cached else f"{cell.elapsed:.2f}s"
+            print(
+                f"[{done}/{total}] {cell.summary.pattern} | "
+                f"{'x'.join(str(n) for n in cell.summary.mesh_shape)} | "
+                f"{cell.summary.allocator} @ {cell.summary.load_factor:g} ({tag})",
+                flush=True,
+            )
+
+    run = run_campaign(
+        campaign, cache=cache, jobs=args.jobs, limit=args.limit, progress=progress
+    )
+    print(run.summary_line())
+    if cache is not None:
+        print(cache.stats_line())
+    return 0
+
+
+def _status(args) -> int:
+    campaign, cache = _open(args)
+    expansion = expand(campaign, store=cache.traces if cache else None)
+    print(format_campaign_status(expansion, _manifest_for(campaign, expansion, cache)))
+    return 0
+
+
+def _report(args) -> int:
+    campaign, cache = _open(args)
+    if cache is None:
+        print("report needs the artifact cache (drop --no-cache)", file=sys.stderr)
+        return 2
+    expansion = expand(campaign, store=cache.traces)
+    print(
+        format_campaign_report(
+            expansion,
+            cache,
+            group_by=args.group_by,
+            metric=args.metric,
+            rows_axis=args.rows,
+            cols_axis=args.cols,
+        )
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-campaign",
+        description="Expand, run and aggregate declarative campaign files "
+        "(see src/repro/campaign/data/ for bundled examples).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p) -> None:
+        p.add_argument(
+            "campaign",
+            help="campaign file path, or a bundled campaign name "
+            f"({', '.join(bundled_campaign_names()) or 'none bundled'})",
+        )
+        p.add_argument(
+            "--cache-dir",
+            default=None,
+            help="cache directory (default: $REPRO_CACHE_DIR or .repro-cache)",
+        )
+
+    p_expand = sub.add_parser("expand", help="print the expanded cell table")
+    add_common(p_expand)
+
+    p_run = sub.add_parser("run", help="run the campaign (resumes from the manifest)")
+    add_common(p_run)
+    p_run.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (default: 1 = serial)"
+    )
+    p_run.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run at most N pending cells (incremental execution)",
+    )
+    p_run.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="run without the artifact cache (nothing persisted or resumable)",
+    )
+    p_run.add_argument(
+        "--quiet", action="store_true", help="suppress per-cell progress lines"
+    )
+
+    p_status = sub.add_parser("status", help="completion counts from the manifest")
+    add_common(p_status)
+
+    p_report = sub.add_parser(
+        "report", help="aggregate completed cells into axis-grouped tables"
+    )
+    add_common(p_report)
+    p_report.add_argument(
+        "--group-by", default="mesh", help="axis to group tables by (default: mesh)"
+    )
+    p_report.add_argument(
+        "--metric",
+        default="mean_response",
+        help="RunSummary metric to aggregate (default: mean_response)",
+    )
+    p_report.add_argument(
+        "--rows",
+        default=None,
+        help="axis for table rows (default: allocator, or the first free axis)",
+    )
+    p_report.add_argument(
+        "--cols",
+        default=None,
+        help="axis for table columns (default: load, or the first free axis)",
+    )
+
+    args = parser.parse_args(argv)
+    if args.command == "run" and args.jobs < 1:
+        print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+    handler = {
+        "expand": _expand,
+        "run": _run,
+        "status": _status,
+        "report": _report,
+    }[args.command]
+    try:
+        return handler(args)
+    except (CampaignError, FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; not an error.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

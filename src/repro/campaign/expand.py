@@ -1,0 +1,343 @@
+"""Campaign expansion: cross-product -> validated experiment specs.
+
+:func:`expand` turns a :class:`~repro.campaign.model.Campaign` into the
+ordered list of unique :class:`~repro.campaign.expand.CampaignCell`\\ s:
+the cross-product of the declared axes (outermost axis first, in file
+order), filtered by ``include``/``exclude``, patched by ``override``
+blocks, deduplicated by spec digest, and validated cell-by-cell (a
+2-D-only allocator on a 3-D mesh is rejected here, after filters had the
+chance to exclude it).
+
+Workload sources resolve once per distinct source: SWF logs are parsed
+and prepared through the archive pipeline and -- when a workload store is
+available -- interned so every cell references the trace by digest.  The
+per-source accounting (:class:`SourceInfo`) rides along in the
+:class:`Expansion` so drivers and reports can show exactly what was
+ingested.
+
+Every cell carries a **cell digest**: the SHA-256 of the canonical JSON
+of its spec's digest-normalised form (inline rows replaced by their
+content address).  It is pure -- no store access -- identical for the
+inline and interned representations of the same cell, and is what the
+campaign manifest keys completion status by.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.campaign.model import (
+    BUNDLED_SWF,
+    Campaign,
+    CampaignError,
+    MeshAxis,
+    TraceSource,
+)
+from repro.runner.spec import ExperimentSpec
+from repro.trace.store import TraceStore, trace_digest
+
+__all__ = [
+    "CampaignCell",
+    "Expansion",
+    "SourceInfo",
+    "expand",
+    "cell_digest",
+]
+
+
+def cell_digest(spec: ExperimentSpec) -> str:
+    """Pure content digest of a cell (both trace representations agree)."""
+    canonical = json.dumps(
+        spec.with_trace_digest().to_dict(), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One expanded cell: its axis coordinates, spec, and content digest."""
+
+    index: int
+    coords: dict
+    spec: ExperimentSpec
+    digest: str
+
+    def __hash__(self) -> int:  # coords is a dict; identity is the digest
+        return hash(self.digest)
+
+
+@dataclass
+class SourceInfo:
+    """Resolution record for one workload source."""
+
+    source: TraceSource
+    digest: str
+    n_jobs: int
+    parse: object | None = None  # SwfParseReport for swf sources
+    normalize: object | None = None  # NormalizeReport for swf sources
+
+    def summary(self) -> str:
+        parts = [f"{self.source.label}: {self.n_jobs} jobs, digest {self.digest[:12]}"]
+        if self.parse is not None:
+            parts.append(f"parse [{self.parse.summary()}]")
+        if self.normalize is not None:
+            parts.append(f"prepare [{self.normalize.summary()}]")
+        return "; ".join(parts)
+
+
+@dataclass
+class Expansion:
+    """The expanded campaign: unique cells plus expansion accounting."""
+
+    campaign: Campaign
+    cells: list[CampaignCell] = field(default_factory=list)
+    n_raw: int = 0
+    n_excluded: int = 0
+    n_deduped: int = 0
+    sources: dict = field(default_factory=dict)  # source label -> SourceInfo
+    digest: str = ""
+
+    @property
+    def axis_names(self) -> list[str]:
+        return list(self.campaign.axes)
+
+    def select(self, **coords) -> list[CampaignCell]:
+        """Cells whose coordinates match every given ``axis=value`` pair."""
+        out = []
+        for cell in self.cells:
+            if all(cell.coords.get(axis) == value for axis, value in coords.items()):
+                out.append(cell)
+        return out
+
+    def summary(self) -> str:
+        parts = [f"{len(self.cells)} cells"]
+        if self.n_excluded:
+            parts.append(f"{self.n_excluded} excluded")
+        if self.n_deduped:
+            parts.append(f"{self.n_deduped} duplicates deduped")
+        return (
+            f"campaign {self.campaign.name!r}: " + ", ".join(parts)
+            + f" over axes {'x'.join(str(len(v)) for v in self.campaign.axes.values())}"
+            f" ({' / '.join(self.campaign.axes)})"
+        )
+
+
+def _coord_label(value):
+    """The filterable/serializable form of an axis value."""
+    if isinstance(value, (MeshAxis, TraceSource)):
+        return value.label
+    return value
+
+
+def _matches(filt: dict, coords: dict) -> bool:
+    """Whether a filter table matches a cell's coordinates.
+
+    Every key must match; a list value means "any of".  Filter values are
+    compared against the coordinate labels (``"8x8x8t"`` for meshes,
+    ``"synthetic"``/``"swf:..."``/``"ref:..."`` for workloads).
+    """
+    for key, want in filt.items():
+        have = coords.get(key)
+        options = want if isinstance(want, (list, tuple)) else [want]
+        if not any(have == _coord_label(opt) or have == opt for opt in options):
+            return False
+    return True
+
+
+def _resolve_swf_path(source: TraceSource, base_dir: Path | None) -> Path:
+    path_text = source.path or ""
+    if path_text.startswith("bundled:"):
+        name = path_text.split(":", 1)[1]
+        if name in ("sdsc-mini", "sdsc_mini"):
+            from repro.trace.archive import bundled_mini_swf
+
+            return bundled_mini_swf()
+        raise CampaignError(
+            f"unknown bundled SWF fixture {name!r} in workload {source.label!r}; "
+            f"bundled fixtures: {list(BUNDLED_SWF)}"
+        )
+    path = Path(path_text)
+    if not path.is_absolute() and base_dir is not None:
+        path = base_dir / path
+    return path
+
+
+def _resolve_source(
+    source: TraceSource, base_dir: Path | None, store: TraceStore | None
+) -> tuple[dict, SourceInfo]:
+    """Workload spec fields + accounting for one non-synthetic source.
+
+    Returns the ``ExperimentSpec`` keyword fragment -- ``trace_ref``
+    when a store is available (rows interned once), inline ``trace``
+    otherwise -- so campaigns behave exactly like the figure drivers:
+    interning is representation, never behaviour.
+    """
+    if source.kind == "ref":
+        assert source.digest is not None
+        if store is not None and source.digest not in store:
+            raise CampaignError(
+                f"workload {source.label!r}: trace {source.digest} is not in the "
+                f"workload store {store.root} -- intern it first "
+                "(repro.trace.archive.ingest_swf or TraceStore.put)"
+            )
+        info = SourceInfo(source=source, digest=source.digest, n_jobs=-1)
+        return {"trace_ref": source.digest}, info
+    from repro.trace.archive import prepare_trace, trace_rows
+    from repro.trace.swf import parse_swf
+
+    path = _resolve_swf_path(source, base_dir)
+    parsed, parse_report = parse_swf(path)
+    prepared, norm_report = prepare_trace(
+        parsed,
+        n_jobs=source.n_jobs,
+        time_scale=source.time_scale,
+        max_size=source.max_size,
+        oversized=source.oversized,
+        target_load=source.target_load,
+    )
+    rows = trace_rows(prepared)
+    info = SourceInfo(
+        source=source,
+        digest=trace_digest(rows),
+        n_jobs=len(prepared),
+        parse=parse_report,
+        normalize=norm_report,
+    )
+    if store is not None:
+        return {"trace_ref": store.put(rows)}, info
+    return {"trace": rows}, info
+
+
+def _network_fragment(settings: dict):
+    network = settings.get("network")
+    if network is None:
+        return None
+    from repro.network.fluid import NetworkParams
+
+    try:
+        params = NetworkParams(**dict(network))
+    except TypeError as exc:
+        raise CampaignError(f"bad network settings {network!r}: {exc}") from None
+    return ExperimentSpec.from_network_params(params)
+
+
+def expand(
+    campaign: Campaign,
+    store: TraceStore | None = None,
+    check: bool = True,
+) -> Expansion:
+    """Expand a campaign into its unique, validated cell list.
+
+    Parameters
+    ----------
+    campaign:
+        The validated campaign (``load_campaign`` validates on load).
+    store:
+        Workload store to intern SWF sources into; ``None`` keeps
+        explicit traces inline in the specs (identical results and cache
+        keys -- see :meth:`ExperimentSpec.cache_key`).
+    check:
+        Re-run :meth:`Campaign.validate` first (cheap; keeps
+        programmatically built campaigns honest).
+    """
+    if check:
+        campaign.validate()
+    from repro.core.registry import allocator_names_3d
+
+    axes = campaign.axes
+    names = list(axes)
+    expansion = Expansion(campaign=campaign)
+    allocators_3d = set(allocator_names_3d())
+    source_cache: dict[TraceSource, tuple[dict, SourceInfo]] = {}
+    seen: dict[str, CampaignCell] = {}
+
+    for values in itertools.product(*(axes[name] for name in names)):
+        expansion.n_raw += 1
+        raw = dict(zip(names, values))
+        coords = {name: _coord_label(value) for name, value in raw.items()}
+        if campaign.include and not any(
+            _matches(f, coords) for f in campaign.include
+        ):
+            expansion.n_excluded += 1
+            continue
+        if any(_matches(f, coords) for f in campaign.exclude):
+            expansion.n_excluded += 1
+            continue
+
+        settings = {"seed": 1, "scheduler": "fcfs", "n_jobs": 0, "runtime_scale": 1.0}
+        settings.update(campaign.defaults)
+        for ov in campaign.overrides:
+            if _matches(ov.when, coords):
+                settings.update(ov.set)
+
+        mesh: MeshAxis = raw["mesh"]
+        allocator: str = raw["allocator"]
+        if len(mesh.shape) == 3 and allocator not in allocators_3d:
+            raise CampaignError(
+                f"allocator {allocator!r} cannot place on the 3-D mesh "
+                f"{mesh.label!r} (cell {coords}); restrict the axis, or add "
+                "an [[exclude]] pairing them (3-D-capable allocators: "
+                f"{sorted(allocators_3d)})"
+            )
+
+        source: TraceSource = raw.get("workload", TraceSource(kind="synthetic"))
+        if source.kind == "synthetic":
+            if int(settings["n_jobs"]) < 1:
+                raise CampaignError(
+                    f"cell {coords}: synthetic workloads need n_jobs >= 1 "
+                    "(set it in [defaults] or an [[override]])"
+                )
+            workload = {
+                "n_jobs": int(settings["n_jobs"]),
+                "runtime_scale": float(settings["runtime_scale"]),
+            }
+        else:
+            if source not in source_cache:
+                source_cache[source] = _resolve_source(
+                    source, campaign.base_dir, store
+                )
+            fragment, info = source_cache[source]
+            expansion.sources.setdefault(source.label, info)
+            workload = dict(fragment)
+
+        try:
+            spec = ExperimentSpec(
+                mesh_shape=mesh.shape,
+                torus=mesh.torus,
+                pattern=raw["pattern"],
+                allocator=allocator,
+                load=float(raw["load"]),
+                seed=int(raw.get("seed", settings["seed"])),
+                scheduler=raw.get("scheduler", settings["scheduler"]),
+                network=_network_fragment(settings),
+                **workload,
+            )
+        except ValueError as exc:
+            raise CampaignError(f"cell {coords}: {exc}") from None
+
+        digest = cell_digest(spec)
+        if digest in seen:
+            expansion.n_deduped += 1
+            continue
+        cell = CampaignCell(
+            index=len(expansion.cells), coords=coords, spec=spec, digest=digest
+        )
+        seen[digest] = cell
+        expansion.cells.append(cell)
+
+    if not expansion.cells:
+        raise CampaignError(
+            f"campaign {campaign.name!r} expands to zero cells "
+            f"({expansion.n_raw} raw, {expansion.n_excluded} excluded) -- "
+            "check the include/exclude filters"
+        )
+    payload = json.dumps(
+        {"name": campaign.name, "cells": [c.digest for c in expansion.cells]},
+        separators=(",", ":"),
+    )
+    expansion.digest = hashlib.sha256(payload.encode()).hexdigest()
+    return expansion

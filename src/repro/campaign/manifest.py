@@ -1,0 +1,164 @@
+"""The campaign manifest: resumable completion state next to the cache.
+
+A campaign run writes ``<cache-root>/campaigns/<name>-<digest12>.json``
+recording, per cell digest, whether the cell completed, whether it came
+from the artifact cache, and its compute time -- plus one entry per
+``run`` invocation with wall time and hit/miss counts.  The file is
+flushed through a temp file + :func:`os.replace` after every completed
+cell, so an interrupted run leaves a valid manifest behind and the next
+``run`` resumes exactly where it stopped (completed cells are warm in
+the artifact cache; the manifest is what lets ``status`` say so without
+touching a single artifact).
+
+The filename carries the first 12 hex chars of the campaign digest, so
+editing a campaign (or re-scaling it) starts a fresh manifest instead of
+silently mixing state from two different cell grids; the full digest is
+also stored inside and verified on load.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["CampaignManifest", "manifest_path", "MANIFEST_DIRNAME"]
+
+#: Subdirectory of the cache root holding campaign manifests.
+MANIFEST_DIRNAME = "campaigns"
+
+#: Manifest schema version.
+MANIFEST_FORMAT = 1
+
+
+def manifest_path(cache_root: str | Path, name: str, digest: str) -> Path:
+    """Manifest file for a campaign identified by name + expansion digest."""
+    return Path(cache_root) / MANIFEST_DIRNAME / f"{name}-{digest[:12]}.json"
+
+
+@dataclass
+class CampaignManifest:
+    """Mutable completion record of one expanded campaign.
+
+    ``path=None`` keeps the manifest purely in memory (used when running
+    without a cache); otherwise :meth:`flush` persists it atomically.
+    """
+
+    name: str
+    campaign_digest: str
+    path: Path | None = None
+    cells: dict = field(default_factory=dict)  # cell digest -> record dict
+    runs: list = field(default_factory=list)
+    created_at: float = 0.0
+    updated_at: float = 0.0
+
+    # -- load/store ----------------------------------------------------
+    @classmethod
+    def open(cls, path: Path | None, name: str, campaign_digest: str) -> "CampaignManifest":
+        """Load the manifest at ``path``, or start a fresh one.
+
+        A file whose stored digest does not match ``campaign_digest``
+        (possible only if someone renamed a manifest by hand, since the
+        digest is part of the filename) is discarded rather than trusted.
+        """
+        manifest = cls(
+            name=name,
+            campaign_digest=campaign_digest,
+            path=Path(path) if path is not None else None,
+            created_at=time.time(),
+        )
+        if path is None or not Path(path).is_file():
+            return manifest
+        try:
+            data = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError):
+            return manifest
+        if (
+            not isinstance(data, dict)
+            or data.get("format") != MANIFEST_FORMAT
+            or data.get("campaign_digest") != campaign_digest
+        ):
+            return manifest
+        manifest.cells = dict(data.get("cells", {}))
+        manifest.runs = list(data.get("runs", []))
+        manifest.created_at = data.get("created_at", manifest.created_at)
+        manifest.updated_at = data.get("updated_at", 0.0)
+        return manifest
+
+    def to_dict(self) -> dict:
+        return {
+            "format": MANIFEST_FORMAT,
+            "name": self.name,
+            "campaign_digest": self.campaign_digest,
+            "created_at": self.created_at,
+            "updated_at": self.updated_at,
+            "cells": self.cells,
+            "runs": self.runs,
+        }
+
+    def flush(self) -> None:
+        """Atomically persist (no-op for in-memory manifests)."""
+        if self.path is None:
+            return
+        self.updated_at = time.time()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.parent / f"{self.path.name}.tmp{os.getpid()}"
+        tmp.write_text(json.dumps(self.to_dict(), sort_keys=True))
+        os.replace(tmp, self.path)
+
+    # -- cell state ----------------------------------------------------
+    def is_done(self, digest: str) -> bool:
+        return self.cells.get(digest, {}).get("status") == "done"
+
+    def done_digests(self) -> set[str]:
+        return {d for d, rec in self.cells.items() if rec.get("status") == "done"}
+
+    def mark_done(self, digest: str, coords: dict, cached: bool, elapsed: float) -> None:
+        self.cells[digest] = {
+            "status": "done",
+            "coords": coords,
+            "cached": bool(cached),
+            "elapsed": float(elapsed),
+            "finished_at": time.time(),
+        }
+
+    def record_run(
+        self, wall: float, hits: int, misses: int, n_selected: int, limit: int | None
+    ) -> None:
+        """Append one ``run`` invocation's wall/cache accounting."""
+        self.runs.append(
+            {
+                "started_at": time.time() - wall,
+                "wall": float(wall),
+                "hits": int(hits),
+                "misses": int(misses),
+                "n_selected": int(n_selected),
+                "limit": limit,
+            }
+        )
+
+    # -- accounting ----------------------------------------------------
+    def counts(self, cell_digests) -> dict:
+        """Completion counts for the given expansion's cell digests."""
+        cell_digests = list(cell_digests)
+        done = cached = 0
+        compute_s = 0.0
+        for digest in cell_digests:
+            rec = self.cells.get(digest)
+            if rec is None or rec.get("status") != "done":
+                continue
+            done += 1
+            if rec.get("cached"):
+                cached += 1
+            compute_s += rec.get("elapsed", 0.0)
+        total = len(cell_digests)
+        return {
+            "total": total,
+            "done": done,
+            "pending": total - done,
+            "cached": cached,
+            "computed": done - cached,
+            "compute_seconds": compute_s,
+        }

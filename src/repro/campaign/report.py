@@ -1,0 +1,235 @@
+"""Status and aggregation reports over expanded campaigns.
+
+``status`` answers "how far along is this campaign?" from the manifest
+without opening any artifact (the campaign must still be *expanded* to
+know its cell digests, which re-resolves declared workload sources --
+instant for synthetic axes, an SWF parse for file sources); ``report``
+aggregates the *completed*
+cells -- read straight from the artifact cache at summary level -- into
+the plain-text comparison tables of :mod:`repro.analysis.tables`, grouped
+by any axis: one pivot table per value of the grouping axis, cells
+averaged over every axis not shown.  Grouping by ``mesh`` with exactly
+two machine groups additionally emits the existing
+``format_mesh_comparison`` ratio table, the same view the fig12/figswf
+drivers print.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_pivot, format_table
+from repro.campaign.expand import CampaignCell, Expansion
+from repro.campaign.manifest import CampaignManifest
+from repro.runner import ResultCache
+
+__all__ = [
+    "completed_cells",
+    "completed_rows",
+    "format_campaign_report",
+    "format_campaign_status",
+    "format_expansion",
+]
+
+
+def format_expansion(expansion: Expansion, manifest: CampaignManifest | None = None) -> str:
+    """The cell table an ``expand`` invocation prints."""
+    axis_names = expansion.axis_names
+    rows = []
+    for cell in expansion.cells:
+        row = {"#": cell.index}
+        row.update({axis: cell.coords[axis] for axis in axis_names})
+        row["cell"] = cell.digest[:12]
+        if manifest is not None:
+            row["status"] = "done" if manifest.is_done(cell.digest) else "pending"
+        rows.append(row)
+    blocks = [expansion.summary()]
+    for info in expansion.sources.values():
+        blocks.append(f"workload {info.summary()}")
+    blocks.append(format_table(rows, float_fmt="g"))
+    return "\n".join(blocks)
+
+
+def format_campaign_status(expansion: Expansion, manifest: CampaignManifest) -> str:
+    """Completion counts plus per-invocation wall/cache accounting."""
+    counts = manifest.counts([c.digest for c in expansion.cells])
+    lines = [
+        expansion.summary(),
+        (
+            f"{counts['done']}/{counts['total']} cells done "
+            f"({counts['cached']} from cache, {counts['computed']} computed, "
+            f"{counts['pending']} pending); "
+            f"compute time {counts['compute_seconds']:.1f}s"
+        ),
+    ]
+    if manifest.runs:
+        run_rows = [
+            {
+                "run": i + 1,
+                "cells": rec.get("n_selected", 0),
+                "hits": rec.get("hits", 0),
+                "misses": rec.get("misses", 0),
+                "wall s": rec.get("wall", 0.0),
+                "limit": rec.get("limit") if rec.get("limit") is not None else "",
+            }
+            for i, rec in enumerate(manifest.runs)
+        ]
+        lines.append(format_table(run_rows, float_fmt=".2f", title="run history"))
+    else:
+        lines.append("never run (no manifest entries)")
+    pending = [c for c in expansion.cells if not manifest.is_done(c.digest)]
+    if pending:
+        preview = ", ".join(str(dict(c.coords)) for c in pending[:3])
+        more = f" (+{len(pending) - 3} more)" if len(pending) > 3 else ""
+        lines.append(f"next pending: {preview}{more}")
+    return "\n".join(lines)
+
+
+def _check_metric(metric: str) -> None:
+    """Reject unknown RunSummary metrics with the valid names listed."""
+    from dataclasses import fields
+
+    from repro.sched.stats import RunSummary
+
+    known = {f.name for f in fields(RunSummary)}
+    if metric not in known:
+        raise ValueError(f"unknown metric {metric!r}; known: {sorted(known)}")
+
+
+def completed_cells(
+    expansion: Expansion, cache: ResultCache
+) -> tuple[list[tuple[CampaignCell, object]], int]:
+    """``(cell, RunSummary)`` for every cell with a cached artifact.
+
+    Summary-level reads only (:meth:`ResultCache.peek`); returns the
+    pairs in expansion order plus the number of cells still missing.
+    """
+    pairs = []
+    missing = 0
+    for cell in expansion.cells:
+        try:
+            result = cache.peek(cell.spec)
+        except KeyError:  # ref spec whose trace never reached this store
+            result = None
+        if result is None:
+            missing += 1
+            continue
+        pairs.append((cell, result.summary))
+    return pairs, missing
+
+
+def completed_rows(
+    expansion: Expansion, cache: ResultCache, metric: str = "mean_response"
+) -> tuple[list[dict], int]:
+    """Coordinate + metric rows for every completed cell.
+
+    Each row is the cell's axis coordinates plus the requested
+    :class:`RunSummary` metric -- exactly what
+    :func:`repro.analysis.tables.format_pivot` consumes.
+    """
+    _check_metric(metric)
+    pairs, missing = completed_cells(expansion, cache)
+    rows = []
+    for cell, summary in pairs:
+        row = dict(cell.coords)
+        row[metric] = getattr(summary, metric)
+        rows.append(row)
+    return rows, missing
+
+
+def _default_axis(preferred: str, axis_names: list[str], taken: tuple) -> str:
+    """``preferred`` unless another role claimed it; else the first free axis."""
+    if preferred in axis_names and preferred not in taken:
+        return preferred
+    for axis in axis_names:
+        if axis not in taken:
+            return axis
+    raise ValueError(
+        f"campaign has too few axes to pivot: {axis_names} with {taken} taken"
+    )
+
+
+def format_campaign_report(
+    expansion: Expansion,
+    cache: ResultCache,
+    group_by: str = "mesh",
+    metric: str = "mean_response",
+    rows_axis: str | None = None,
+    cols_axis: str | None = None,
+) -> str:
+    """Axis-grouped comparison tables over the completed cells.
+
+    One pivot table per value of ``group_by``, averaging ``metric`` over
+    every axis not shown.  Rows default to the ``allocator`` axis and
+    columns to ``load``; when ``group_by`` claims one of those, the
+    default slides to the first remaining axis, so every axis is
+    groupable without extra flags.  Grouping by ``mesh`` with exactly
+    two groups adds the pairwise machine-comparison ratio table.
+    """
+    _check_metric(metric)
+    axis_names = expansion.axis_names
+    if group_by not in axis_names:
+        raise ValueError(
+            f"cannot group by {group_by!r}: campaign axes are {axis_names}"
+        )
+    if rows_axis is None:
+        rows_axis = _default_axis("allocator", axis_names, taken=(group_by,))
+    if cols_axis is None:
+        cols_axis = _default_axis("load", axis_names, taken=(group_by, rows_axis))
+    for name, value in (("rows", rows_axis), ("cols", cols_axis)):
+        if value not in axis_names:
+            raise ValueError(
+                f"cannot use {value!r} as {name}: campaign axes are {axis_names}"
+            )
+        if value == group_by:
+            raise ValueError(f"{name} axis {value!r} is already the group-by axis")
+
+    pairs, missing = completed_cells(expansion, cache)
+    header = (
+        f"{expansion.summary()}\n"
+        f"report over {len(pairs)} completed cells"
+        + (f" ({missing} pending -- run the campaign to fill them in)" if missing else "")
+    )
+    if not pairs:
+        return header
+    blocks = [header]
+    group_values = []
+    for cell in expansion.cells:
+        value = cell.coords[group_by]
+        if value not in group_values:
+            group_values.append(value)
+    for value in group_values:
+        subset = []
+        for cell, summary in pairs:
+            if cell.coords[group_by] != value:
+                continue
+            row = dict(cell.coords)
+            row[metric] = getattr(summary, metric)
+            subset.append(row)
+        if not subset:
+            continue
+        blocks.append(
+            format_pivot(
+                subset,
+                row_key=rows_axis,
+                col_key=cols_axis,
+                value_key=metric,
+                float_fmt=".2f",
+                title=f"{metric} -- {group_by} = {value}",
+            )
+        )
+    if group_by == "mesh" and len(group_values) == 2:
+        comparison = _mesh_comparison(pairs, group_values, metric)
+        if comparison:
+            blocks.append(comparison)
+    return "\n\n".join(blocks)
+
+
+def _mesh_comparison(pairs, meshes, metric: str) -> str:
+    """The fig12-style two-machine ratio table, via the existing helpers."""
+    from repro.analysis.tables import format_mesh_comparison
+    from repro.campaign.runner import group_sweep_results
+
+    groups = group_sweep_results(pairs)
+    baseline, other = groups.get(meshes[0]), groups.get(meshes[1])
+    if not baseline or not other:
+        return ""
+    return format_mesh_comparison(baseline, other, metric=metric)

@@ -1,0 +1,199 @@
+"""Campaign execution on the parallel experiment engine.
+
+:func:`run_campaign` is the one call the CLI and the figure-driver shims
+share: expand the campaign (interning workloads into the cache's store),
+open the resumable manifest, fan the pending cells out through
+:func:`repro.runner.run_many`, and record per-cell completion as results
+land.  Because the engine's artifact cache is content-addressed by spec,
+resumption needs no special machinery: re-running a half-finished
+campaign turns every previously completed cell into a cache hit, and the
+manifest is what makes that state *visible* (``status``) without opening
+a single artifact.
+
+:meth:`CampaignRun.sweep_results` regroups cells into the
+:class:`~repro.experiments.sweep.SweepResult` panels the existing report
+helpers consume, which is how the ported fig07/fig12/figswf drivers stay
+byte-identical to their hand-written predecessors.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.campaign.expand import CampaignCell, Expansion, cell_digest, expand
+from repro.campaign.manifest import CampaignManifest, manifest_path
+from repro.campaign.model import Campaign
+from repro.runner import CellResult, ResultCache, run_many
+
+__all__ = ["CampaignRun", "run_campaign", "group_sweep_results"]
+
+
+def group_sweep_results(pairs) -> dict:
+    """Group ``(cell, RunSummary)`` pairs into per-mesh sweep panels.
+
+    Returns ``{mesh_label: [SweepResult per pattern]}`` with meshes,
+    patterns and cells all in first-appearance (i.e. expansion) order --
+    exactly the grouping the hand-written sweep drivers produced, so
+    their ``report`` functions (and the golden snapshots) apply
+    unchanged.  Shared by :meth:`CampaignRun.sweep_results` and the
+    report module's machine-comparison table.
+    """
+    from repro.experiments.sweep import SweepResult
+
+    panels: dict = {}
+    for cell, summary in pairs:
+        mesh_label = cell.coords["mesh"]
+        pattern = cell.coords["pattern"]
+        group = panels.setdefault(mesh_label, {})
+        if pattern not in group:
+            group[pattern] = SweepResult(
+                mesh_shape=cell.spec.mesh_shape,
+                pattern=pattern,
+                torus=cell.spec.torus,
+            )
+        group[pattern].cells.append(summary)
+    return {mesh: list(group.values()) for mesh, group in panels.items()}
+
+
+@dataclass
+class CampaignRun:
+    """Outcome of one ``run`` invocation over a campaign.
+
+    ``selected``/``results`` are index-aligned; with ``limit`` they cover
+    only the first N pending cells, otherwise every cell in expansion
+    order.  ``manifest`` reflects the post-run completion state.
+    """
+
+    expansion: Expansion
+    selected: list[CampaignCell] = field(default_factory=list)
+    results: list[CellResult] = field(default_factory=list)
+    manifest: CampaignManifest | None = None
+    wall: float = 0.0
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def campaign(self) -> Campaign:
+        return self.expansion.campaign
+
+    def sweep_results(self) -> dict:
+        """Per-mesh :class:`SweepResult` panels, in axis declaration order
+        (see :func:`group_sweep_results`)."""
+        return group_sweep_results(
+            (cell, result.summary)
+            for cell, result in zip(self.selected, self.results)
+        )
+
+    def summary_line(self) -> str:
+        counts = (
+            self.manifest.counts([c.digest for c in self.expansion.cells])
+            if self.manifest is not None
+            else {"done": len(self.results), "total": len(self.expansion.cells)}
+        )
+        return (
+            f"campaign {self.campaign.name!r}: ran {len(self.selected)} cells "
+            f"({self.hits} from cache, {self.misses} computed) in {self.wall:.1f}s; "
+            f"{counts['done']}/{counts['total']} cells done"
+        )
+
+
+def _artifact_exists(cache: ResultCache | None, cell: CampaignCell) -> bool:
+    """Cheap existence check for a cell's cached artifact (no decode)."""
+    if cache is None:
+        return False
+    try:
+        key = cache.key_for(cell.spec)
+    except KeyError:  # ref spec whose trace left the store
+        return False
+    return any(path.is_file() for path in cache._candidate_paths(key))
+
+
+def run_campaign(
+    campaign: Campaign,
+    cache: ResultCache | None = None,
+    jobs: int = 1,
+    limit: int | None = None,
+    progress: Callable[[int, int, CellResult], None] | None = None,
+) -> CampaignRun:
+    """Expand and run a campaign, resuming from its manifest.
+
+    Parameters
+    ----------
+    campaign:
+        The validated campaign model.
+    cache:
+        Artifact cache; also supplies the workload store SWF sources are
+        interned into and the directory the manifest lives next to.
+        ``None`` runs without persistence (in-memory manifest, inline
+        traces) -- same results, nothing to resume.
+    jobs:
+        Worker processes for the engine fan-out.
+    limit:
+        Run at most this many *not-yet-done* cells (completed cells are
+        skipped entirely).  The natural increment for huge campaigns and
+        what the resumption tests interrupt with.
+    progress:
+        Optional ``callback(done, total, cell)`` forwarded to
+        :func:`run_many`.
+    """
+    if limit is not None and limit < 1:
+        raise ValueError(f"limit must be >= 1, got {limit}")
+    store = cache.traces if cache is not None else None
+    expansion = expand(campaign, store=store)
+    path = (
+        manifest_path(cache.root, campaign.name, expansion.digest)
+        if cache is not None
+        else None
+    )
+    manifest = CampaignManifest.open(path, campaign.name, expansion.digest)
+
+    if limit is None:
+        selected = list(expansion.cells)
+    else:
+        # A cell only counts as done if its artifact still exists -- the
+        # manifest can outlive artifacts (prune/vacuum), and a limited
+        # run must not skip cells it would have to recompute.
+        done = manifest.done_digests()
+        selected = [
+            c
+            for c in expansion.cells
+            if c.digest not in done or not _artifact_exists(cache, c)
+        ][:limit]
+
+    by_digest = {c.digest: c for c in selected}
+    hits0 = cache.hits if cache is not None else 0
+    misses0 = cache.misses if cache is not None else 0
+
+    def on_cell(done_n: int, total: int, result: CellResult) -> None:
+        digest = cell_digest(result.spec)
+        cell = by_digest.get(digest)
+        if cell is not None:
+            manifest.mark_done(
+                digest, cell.coords, cached=result.cached, elapsed=result.elapsed
+            )
+            manifest.flush()
+        if progress is not None:
+            progress(done_n, total, result)
+
+    start = time.perf_counter()
+    results = run_many(
+        [c.spec for c in selected], jobs=jobs, cache=cache, progress=on_cell
+    )
+    wall = time.perf_counter() - start
+    hits = (cache.hits - hits0) if cache is not None else 0
+    misses = (cache.misses - misses0) if cache is not None else len(selected)
+    manifest.record_run(
+        wall, hits=hits, misses=misses, n_selected=len(selected), limit=limit
+    )
+    manifest.flush()
+    return CampaignRun(
+        expansion=expansion,
+        selected=selected,
+        results=results,
+        manifest=manifest,
+        wall=wall,
+        hits=hits,
+        misses=misses,
+    )

@@ -36,7 +36,13 @@ interned once into ``.repro-cache/traces/`` and referenced by digest::
     python -m repro.experiments figswf --scale medium --jobs 4
 
 Cache lifecycle tooling lives in ``python -m repro.runner``
-(``ls`` / ``prune --older-than DAYS`` / ``vacuum``).
+(``ls`` / ``prune --older-than DAYS | --max-mb N | --spec-substr S`` /
+``vacuum``).
+
+``fig7``, ``fig12`` and ``figswf`` are thin shims over bundled
+*campaign files* (``src/repro/campaign/data/``): declarative sweeps you
+can copy, edit and run directly with resumable manifests --
+``python -m repro.campaign run|status|expand|report CAMPAIGN``.
 """
 
 from __future__ import annotations

@@ -7,18 +7,28 @@ The 16x22 mesh matches the SDSC Paragon partition that generated the
 trace; the Hilbert and H-indexing orderings are truncated 32x32 curves with
 gaps along the top (Fig 6), which is why panel orderings differ from the
 square-mesh results of Fig 8.
+
+Since the campaign refactor this driver is a thin shim over the bundled
+campaign file ``repro/campaign/data/fig07.toml``: the panel grid is
+declared as data, expanded through :mod:`repro.campaign` (identical
+specs, cache keys and golden numbers -- pinned by
+``tests/campaign/test_bundled.py``) and adapted to ``--scale``/``--seed``
+via :meth:`~repro.campaign.model.Campaign.scaled`.
 """
 
 from __future__ import annotations
 
 from repro.experiments.config import SMALL, Scale
-from repro.experiments.sweep import SweepResult, report_sweep, run_sweep
+from repro.experiments.sweep import SweepResult, report_sweep
 from repro.mesh.topology import Mesh2D
 from repro.runner import ResultCache
 
-__all__ = ["run", "report", "MESH"]
+__all__ = ["run", "report", "MESH", "CAMPAIGN"]
 
 MESH = Mesh2D(16, 22)
+
+#: Bundled campaign this driver is a shim over.
+CAMPAIGN = "fig07"
 
 
 def run(
@@ -28,9 +38,12 @@ def run(
     cache: ResultCache | None = None,
 ) -> list[SweepResult]:
     """All three panels of Fig 7 (one SweepResult per pattern)."""
-    if seed is not None:
-        scale = scale.with_seed(seed)
-    return run_sweep(MESH, scale, jobs=jobs, cache=cache)
+    from repro.campaign import bundled_campaign_path, load_campaign, run_campaign
+
+    campaign = load_campaign(bundled_campaign_path(CAMPAIGN)).scaled(scale, seed)
+    crun = run_campaign(campaign, cache=cache, jobs=jobs)
+    (panels,) = crun.sweep_results().values()
+    return panels
 
 
 def report(results: list[SweepResult]) -> str:

@@ -31,16 +31,20 @@ unchanged to the 3-D torus of a Cplant-class machine:
 Like Figs 7/8 this rides the parallel experiment engine: ``--jobs`` fans
 the grid out over workers and repeated runs are served from
 ``.repro-cache/``.
+
+Since the campaign refactor this driver is a thin shim over the bundled
+campaign file ``repro/campaign/data/fig12.toml`` (identical specs and
+golden numbers -- pinned by ``tests/campaign/test_bundled.py``).
 """
 
 from __future__ import annotations
 
 from repro.experiments.config import SMALL, Scale
-from repro.experiments.sweep import SweepResult, report_sweep, run_sweep
+from repro.experiments.sweep import SweepResult, report_sweep
 from repro.mesh.topology import Mesh2D, Mesh3D
 from repro.runner import ResultCache
 
-__all__ = ["run", "report", "MESH", "MESH_2D_REFERENCE", "TORUS_ALLOCATORS"]
+__all__ = ["run", "report", "MESH", "MESH_2D_REFERENCE", "TORUS_ALLOCATORS", "CAMPAIGN"]
 
 MESH = Mesh3D(8, 8, 8, torus=True)
 
@@ -57,6 +61,9 @@ TORUS_ALLOCATORS = (
     "hilbert+ff",
 )
 
+#: Bundled campaign this driver is a shim over.
+CAMPAIGN = "fig12"
+
 
 def run(
     scale: Scale = SMALL,
@@ -70,19 +77,12 @@ def run(
     reference sweep restricts to the same 3-D-capable allocator subset so
     the comparison table is cell-for-cell aligned.
     """
-    if seed is not None:
-        scale = scale.with_seed(seed)
-    torus = run_sweep(
-        MESH, scale, allocators=TORUS_ALLOCATORS, jobs=jobs, cache=cache
-    )
-    mesh2d = run_sweep(
-        MESH_2D_REFERENCE,
-        scale,
-        allocators=TORUS_ALLOCATORS,
-        jobs=jobs,
-        cache=cache,
-    )
-    return {"torus": torus, "mesh2d": mesh2d}
+    from repro.campaign import bundled_campaign_path, load_campaign, run_campaign
+
+    campaign = load_campaign(bundled_campaign_path(CAMPAIGN)).scaled(scale, seed)
+    crun = run_campaign(campaign, cache=cache, jobs=jobs)
+    groups = crun.sweep_results()
+    return {"torus": groups["8x8x8t"], "mesh2d": groups["16x16"]}
 
 
 def report(results: dict[str, list[SweepResult]]) -> str:

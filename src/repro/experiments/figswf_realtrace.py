@@ -27,6 +27,11 @@ Point it at a real archive download to reproduce at full scale::
 
     python -m repro.experiments figswf --scale full --jobs 8 \
         --trace SDSC-Par-1996-3.1-cln.swf
+
+Since the campaign refactor the default (bundled-fixture) path is a thin
+shim over ``repro/campaign/data/figswf.toml`` (identical specs, digests
+and golden numbers -- pinned by ``tests/campaign/test_bundled.py``); an
+explicit ``--trace`` file still runs the hand-assembled pipeline below.
 """
 
 from __future__ import annotations
@@ -47,7 +52,19 @@ from repro.trace.archive import (
 )
 from repro.trace.swf import SwfParseReport, parse_swf
 
-__all__ = ["run", "report", "FigSwfResult", "MESH", "TORUS", "SWF_ALLOCATORS", "SWF_PATTERNS"]
+__all__ = [
+    "run",
+    "report",
+    "FigSwfResult",
+    "MESH",
+    "TORUS",
+    "SWF_ALLOCATORS",
+    "SWF_PATTERNS",
+    "CAMPAIGN",
+]
+
+#: Bundled campaign the default (bundled-fixture) path is a shim over.
+CAMPAIGN = "figswf"
 
 #: The paper's square machine (Fig 8).
 MESH = Mesh2D(16, 16)
@@ -103,6 +120,8 @@ def run(
     swf_path:
         SWF file to ingest; default is the bundled mini fixture.
     """
+    if trace is None and swf_path is None:
+        return _run_bundled_campaign(scale, seed, jobs, cache)
     if seed is not None:
         scale = scale.with_seed(seed)
     parse_report: SwfParseReport | None = None
@@ -160,6 +179,26 @@ def run(
         digest=digest,
         parse=parse_report,
         normalize=norm_report,
+    )
+
+
+def _run_bundled_campaign(
+    scale: Scale, seed: int | None, jobs: int, cache: ResultCache | None
+) -> FigSwfResult:
+    """The default path: the bundled campaign file drives the sweep."""
+    from repro.campaign import bundled_campaign_path, load_campaign, run_campaign
+
+    campaign = load_campaign(bundled_campaign_path(CAMPAIGN)).scaled(scale, seed)
+    crun = run_campaign(campaign, cache=cache, jobs=jobs)
+    groups = crun.sweep_results()
+    (info,) = crun.expansion.sources.values()
+    return FigSwfResult(
+        mesh2d=groups["16x16"],
+        torus=groups["8x8x8t"],
+        n_jobs=info.n_jobs,
+        digest=info.digest if cache is not None else None,
+        parse=info.parse,
+        normalize=info.normalize,
     )
 
 

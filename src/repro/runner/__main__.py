@@ -8,12 +8,17 @@ content-addressed workload store underneath them::
     python -m repro.runner ls --pattern n-body     # filter by cell coordinates
     python -m repro.runner prune --older-than 30   # age out stale artifacts
     python -m repro.runner prune --older-than 30 --dry-run
+    python -m repro.runner prune --max-mb 256      # size cap, oldest evicted
+    python -m repro.runner prune --spec-substr n-body     # spec-filtered
     python -m repro.runner vacuum                  # corrupt artifacts, temp
                                                    # leftovers, orphan traces
 
-``--cache-dir`` (or ``$REPRO_CACHE_DIR``) selects the cache;
-``prune`` only removes cell artifacts -- follow with ``vacuum`` to drop
-traces nothing references any more.
+``--cache-dir`` (or ``$REPRO_CACHE_DIR``) selects the cache.  ``prune``
+removes cell artifacts three ways -- by age (``--older-than DAYS``,
+optionally restricted by ``--spec-substr``), by spec content alone
+(``--spec-substr`` matches the artifact's canonical spec JSON), or by
+total size (``--max-mb N`` evicts oldest-first until the artifacts fit);
+follow with ``vacuum`` to drop traces nothing references any more.
 """
 
 from __future__ import annotations
@@ -73,12 +78,44 @@ def _ls(cache: ResultCache, args) -> int:
 
 
 def _prune(cache: ResultCache, args) -> int:
-    stale = cache.prune(args.older_than, dry_run=args.dry_run)
+    if args.older_than is None and args.max_mb is None and args.spec_substr is None:
+        print(
+            "prune needs at least one of --older-than, --max-mb, --spec-substr",
+            file=sys.stderr,
+        )
+        return 2
+    if args.max_mb is not None and (
+        args.older_than is not None or args.spec_substr is not None
+    ):
+        print(
+            "--max-mb is a total-size cap and cannot combine with "
+            "--older-than/--spec-substr (run two prunes instead)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.max_mb is not None and args.max_mb < 0:
+        print(f"--max-mb must be >= 0, got {args.max_mb:g}", file=sys.stderr)
+        return 2
     verb = "would remove" if args.dry_run else "removed"
-    print(
-        f"{verb} {len(stale)} artifacts older than {args.older_than:g} days "
-        f"from {cache.root}"
-    )
+    if args.max_mb is not None:
+        evicted, remaining = cache.prune_to_size(
+            int(args.max_mb * 1024 * 1024), dry_run=args.dry_run
+        )
+        print(
+            f"{verb} {len(evicted)} oldest artifacts to fit {args.max_mb:g} MB; "
+            f"{remaining / (1024.0 * 1024.0):.1f} MB of artifacts remain in {cache.root}"
+        )
+        stale = evicted
+    else:
+        stale = cache.prune(
+            args.older_than, dry_run=args.dry_run, spec_substr=args.spec_substr
+        )
+        criteria = []
+        if args.older_than is not None:
+            criteria.append(f"older than {args.older_than:g} days")
+        if args.spec_substr is not None:
+            criteria.append(f"with spec matching {args.spec_substr!r}")
+        print(f"{verb} {len(stale)} artifacts {' and '.join(criteria)} from {cache.root}")
     if stale and not args.dry_run:
         print("run 'vacuum' to drop traces no remaining artifact references")
     return 0
@@ -113,13 +150,30 @@ def main(argv: list[str] | None = None) -> int:
     p_ls.add_argument("--pattern", default=None, help="only cells with this pattern")
     p_ls.add_argument("--allocator", default=None, help="only cells with this allocator")
 
-    p_prune = sub.add_parser("prune", help="delete artifacts older than a cutoff")
+    p_prune = sub.add_parser(
+        "prune", help="delete artifacts by age, spec content, or total size"
+    )
     p_prune.add_argument(
         "--older-than",
         type=float,
-        required=True,
+        default=None,
         metavar="DAYS",
         help="age cutoff in days (fractions allowed)",
+    )
+    p_prune.add_argument(
+        "--max-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="evict oldest artifacts until the cache fits this many MB "
+        "(exclusive with the other criteria)",
+    )
+    p_prune.add_argument(
+        "--spec-substr",
+        default=None,
+        metavar="SUBSTR",
+        help="only artifacts whose canonical spec JSON contains SUBSTR "
+        "(e.g. n-body or '\"allocator\":\"mc\"')",
     )
     p_prune.add_argument(
         "--dry-run", action="store_true", help="report what would be removed"

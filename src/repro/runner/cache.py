@@ -200,6 +200,18 @@ class ResultCache:
             self.hits += 1
         return result
 
+    def peek(self, spec: ExperimentSpec) -> CellResult | None:
+        """Cached result for ``spec`` without per-job rows or accounting.
+
+        Cheap summary-level read for listings and campaign reports: no
+        hit/miss counters are touched and ``jobs`` comes back empty.
+        """
+        for path in self._candidate_paths(self.key_for(spec)):
+            result = self._load(path, expect=spec, load_jobs=False)
+            if result is not None:
+                return result
+        return None
+
     def _read_payload(self, path: Path) -> dict | None:
         """Raw artifact dict, or ``None`` for missing/corrupt files."""
         try:
@@ -242,11 +254,16 @@ class ResultCache:
             elapsed=data.get("elapsed", 0.0),
         )
 
-    def _load(self, path: Path, expect: ExperimentSpec | None = None) -> CellResult | None:
+    def _load(
+        self,
+        path: Path,
+        expect: ExperimentSpec | None = None,
+        load_jobs: bool = True,
+    ) -> CellResult | None:
         data = self._read_payload(path)
         if data is None:
             return None
-        result = self._decode(data)
+        result = self._decode(data, load_jobs=load_jobs)
         if result is None:
             return None
         # Interned and inline forms of a cell must validate against each
@@ -336,25 +353,85 @@ class ResultCache:
             removed += 1
         return removed
 
-    def prune(self, older_than_days: float, dry_run: bool = False) -> list[Path]:
-        """Artifacts last written more than ``older_than_days`` ago.
+    def _spec_matches(self, path: Path, substr: str) -> bool:
+        """Whether an artifact's canonical spec JSON contains ``substr``.
 
-        Deletes them unless ``dry_run``; returns the affected paths.
-        Follow with :meth:`vacuum` to drop traces no artifact references
-        any more.
+        Matches against ``json.dumps(spec, sort_keys=True)`` compact form,
+        so e.g. ``n-body``, ``"allocator":"mc"`` or ``8,8,8`` all work as
+        filters; unreadable artifacts never match (``vacuum`` owns those).
         """
-        cutoff = time.time() - older_than_days * 86400.0
+        data = self._read_payload(path)
+        if data is None or not isinstance(data.get("spec"), dict):
+            return False
+        canonical = json.dumps(data["spec"], sort_keys=True, separators=(",", ":"))
+        return substr in canonical
+
+    def prune(
+        self,
+        older_than_days: float | None = None,
+        dry_run: bool = False,
+        spec_substr: str | None = None,
+    ) -> list[Path]:
+        """Remove artifacts by age and/or spec content.
+
+        ``older_than_days`` keeps artifacts written within the window;
+        ``spec_substr`` restricts removal to artifacts whose canonical
+        spec JSON contains the substring (see :meth:`_spec_matches`).
+        Given both, an artifact must satisfy both to be removed; at least
+        one criterion is required.  Deletes unless ``dry_run``; returns
+        the affected paths.  Follow with :meth:`vacuum` to drop traces no
+        artifact references any more.
+        """
+        if older_than_days is None and spec_substr is None:
+            raise ValueError("prune needs older_than_days and/or spec_substr")
+        cutoff = (
+            None if older_than_days is None else time.time() - older_than_days * 86400.0
+        )
         stale = []
         for path in list(self._artifact_paths()):
             try:
-                if path.stat().st_mtime < cutoff:
-                    stale.append(path)
+                if cutoff is not None and path.stat().st_mtime >= cutoff:
+                    continue
             except OSError:
                 continue
+            if spec_substr is not None and not self._spec_matches(path, spec_substr):
+                continue
+            stale.append(path)
         if not dry_run:
             for path in stale:
                 path.unlink(missing_ok=True)
         return stale
+
+    def prune_to_size(
+        self, max_bytes: int, dry_run: bool = False
+    ) -> tuple[list[Path], int]:
+        """Evict oldest artifacts until the cache fits ``max_bytes``.
+
+        Size-capped eviction over the cell artifacts (the workload store
+        is not counted -- run :meth:`vacuum` afterwards to reclaim traces
+        the evicted artifacts were the last to reference).  Returns the
+        evicted paths (oldest first) and the artifact bytes remaining.
+        """
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        entries = []
+        for path in self._artifact_paths():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, path, stat.st_size))
+        entries.sort()  # oldest first
+        total = sum(size for _, _, size in entries)
+        evicted = []
+        for mtime, path, size in entries:
+            if total <= max_bytes:
+                break
+            evicted.append(path)
+            total -= size
+            if not dry_run:
+                path.unlink(missing_ok=True)
+        return evicted, total
 
     def referenced_digests(self) -> set[str]:
         """Trace digests referenced by any readable artifact."""

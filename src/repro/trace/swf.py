@@ -150,10 +150,20 @@ def parse_swf(source: str | Path | TextIO) -> tuple[list[Job], SwfParseReport]:
     shifted so the first job arrives at 0.
 
     Raises :class:`ValueError` for lines that are not SWF at all (fewer
-    than 5 or more than 18 fields).
+    than 5 or more than 18 fields), and :class:`FileNotFoundError` -- with
+    a pointer at :func:`repro.trace.archive.fetch_pwa_log` -- when handed
+    a path that does not exist.
     """
     if isinstance(source, (str, Path)):
-        with open(source, "r", encoding="utf-8") as fh:
+        path = Path(source)
+        if not path.is_file():
+            raise FileNotFoundError(
+                f"SWF trace file not found: {path} -- check the path, or "
+                "download a Parallel Workloads Archive log with "
+                "repro.trace.archive.fetch_pwa_log (e.g. "
+                "fetch_pwa_log('sdsc-par-1996'))"
+            )
+        with open(path, "r", encoding="utf-8") as fh:
             return parse_swf(fh)
     report = SwfParseReport()
     jobs: list[Job] = []

@@ -145,3 +145,70 @@ class TestLoadCachedSweep:
         out = format_cached_sweep(cache.root, pattern="ring")
         assert "2 artifacts" in out
         assert "hilbert+bf" in out and "mean_response" in out
+
+
+class TestFormatPivot:
+    ROWS = [
+        {"allocator": "mc", "load": 1.0, "seed": 1, "mean_response": 10.0},
+        {"allocator": "mc", "load": 1.0, "seed": 2, "mean_response": 14.0},
+        {"allocator": "mc", "load": 0.5, "seed": 1, "mean_response": 6.0},
+        {"allocator": "hilbert", "load": 1.0, "seed": 1, "mean_response": 8.0},
+    ]
+
+    def test_mean_aggregation_over_hidden_axes(self):
+        from repro.analysis.tables import format_pivot
+
+        out = format_pivot(
+            self.ROWS, row_key="allocator", col_key="load",
+            value_key="mean_response", float_fmt=".1f",
+        )
+        lines = out.splitlines()
+        assert lines[0].split() == ["allocator", "load", "1", "load", "0.5"]
+        mc = next(line for line in lines if line.startswith("mc"))
+        assert "12.0" in mc  # mean over the two seeds
+        assert "6.0" in mc
+        hilbert = next(line for line in lines if line.startswith("hilbert"))
+        assert "8.0" in hilbert
+
+    def test_row_and_column_order_follow_first_appearance(self):
+        from repro.analysis.tables import format_pivot
+
+        out = format_pivot(
+            self.ROWS, row_key="allocator", col_key="load", value_key="mean_response"
+        )
+        body = out.splitlines()[2:]
+        assert [line.split()[0] for line in body] == ["mc", "hilbert"]
+
+    def test_missing_cells_render_empty(self):
+        from repro.analysis.tables import format_pivot
+
+        out = format_pivot(
+            self.ROWS[2:], row_key="allocator", col_key="load",
+            value_key="mean_response", float_fmt=".1f",
+        )
+        # hilbert has no load-0.5 cell: the row still renders
+        assert "hilbert" in out
+
+    def test_agg_variants_and_errors(self):
+        import pytest
+
+        from repro.analysis.tables import format_pivot
+
+        out = format_pivot(
+            self.ROWS, row_key="allocator", col_key="load",
+            value_key="mean_response", agg="count", float_fmt="g",
+        )
+        mc = next(line for line in out.splitlines() if line.startswith("mc"))
+        assert mc.split()[1] == "2"
+        with pytest.raises(ValueError, match="unknown agg"):
+            format_pivot(self.ROWS, "allocator", "load", "mean_response", agg="median")
+
+    def test_string_columns(self):
+        from repro.analysis.tables import format_pivot
+
+        rows = [
+            {"pattern": "ring", "mesh": "8x8", "v": 1.0},
+            {"pattern": "ring", "mesh": "4x4x4t", "v": 2.0},
+        ]
+        out = format_pivot(rows, row_key="pattern", col_key="mesh", value_key="v")
+        assert "8x8" in out and "4x4x4t" in out

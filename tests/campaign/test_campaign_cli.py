@@ -1,0 +1,158 @@
+"""Tests for the campaign CLI (python -m repro.campaign)."""
+
+import pytest
+
+from repro.campaign.__main__ import main, resolve_campaign_path
+
+CAMPAIGN = """
+[campaign]
+name = "clitest"
+
+[defaults]
+seed = 3
+n_jobs = 8
+runtime_scale = 0.01
+
+[axes]
+mesh = ["8x8"]
+pattern = ["ring"]
+load = [1.0, 0.5]
+allocator = ["hilbert+bf", "s-curve"]
+"""
+
+
+@pytest.fixture
+def campaign_file(tmp_path):
+    path = tmp_path / "clitest.toml"
+    path.write_text(CAMPAIGN)
+    return path
+
+
+@pytest.fixture
+def cache_dir(tmp_path):
+    return str(tmp_path / "cache")
+
+
+class TestResolve:
+    def test_path_wins(self, campaign_file):
+        assert resolve_campaign_path(str(campaign_file)) == campaign_file
+
+    def test_bundled_name(self):
+        assert resolve_campaign_path("fig07").name == "fig07.toml"
+
+    def test_unknown_errors_with_inventory(self):
+        with pytest.raises(FileNotFoundError, match="figswf"):
+            resolve_campaign_path("not-a-campaign")
+
+
+class TestExpand:
+    def test_prints_cell_table(self, campaign_file, cache_dir, capsys):
+        assert main(["expand", str(campaign_file), "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "4 cells" in out
+        assert "hilbert+bf" in out and "s-curve" in out
+        assert "pending" in out
+
+    def test_bad_campaign_is_graceful(self, tmp_path, cache_dir, capsys):
+        bad = tmp_path / "bad.toml"
+        bad.write_text(CAMPAIGN.replace('"ring"', '"gossip"'))
+        assert main(["expand", str(bad), "--cache-dir", cache_dir]) == 2
+        assert "gossip" in capsys.readouterr().err
+
+
+class TestRunStatusReport:
+    def test_cold_warm_cycle(self, campaign_file, cache_dir, capsys):
+        assert main(["run", str(campaign_file), "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "0 from cache, 4 computed" in out
+        assert "misses=4" in out
+
+        assert main(["run", str(campaign_file), "--cache-dir", cache_dir, "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "4 from cache, 0 computed" in out
+        assert "misses=0" in out
+
+    def test_limit_then_status(self, campaign_file, cache_dir, capsys):
+        assert main(
+            ["run", str(campaign_file), "--cache-dir", cache_dir, "--limit", "3", "--quiet"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["status", str(campaign_file), "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "3/4 cells done" in out
+        assert "1 pending" in out
+        assert "next pending" in out
+        assert "run history" in out
+
+    def test_progress_lines(self, campaign_file, cache_dir, capsys):
+        assert main(["run", str(campaign_file), "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "[4/4]" in out
+
+    def test_report_groups_by_axis(self, campaign_file, cache_dir, capsys):
+        main(["run", str(campaign_file), "--cache-dir", cache_dir, "--quiet"])
+        capsys.readouterr()
+        assert main(["report", str(campaign_file), "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "report over 4 completed cells" in out
+        assert "mesh = 8x8" in out
+        assert "load 1" in out and "load 0.5" in out
+
+        assert main(
+            [
+                "report", str(campaign_file), "--cache-dir", cache_dir,
+                "--group-by", "allocator", "--cols", "load", "--metric", "mean_wait",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "allocator = hilbert+bf" in out and "mean_wait" in out
+
+    def test_report_on_empty_cache_notes_pending(self, campaign_file, cache_dir, capsys):
+        assert main(["report", str(campaign_file), "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "0 completed cells" in out and "4 pending" in out
+
+    def test_report_rejects_unknown_axis(self, campaign_file, cache_dir, capsys):
+        assert main(
+            ["report", str(campaign_file), "--cache-dir", cache_dir, "--group-by", "nope"]
+        ) == 2
+        assert "cannot group by" in capsys.readouterr().err
+
+    def test_bad_jobs_rejected(self, campaign_file, cache_dir, capsys):
+        assert main(["run", str(campaign_file), "--cache-dir", cache_dir, "--jobs", "0"]) == 2
+
+
+class TestReportAxisDefaults:
+    def test_group_by_load_slides_the_cols_default(self, campaign_file, cache_dir, capsys):
+        main(["run", str(campaign_file), "--cache-dir", cache_dir, "--quiet"])
+        capsys.readouterr()
+        assert main(
+            ["report", str(campaign_file), "--cache-dir", cache_dir, "--group-by", "load"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "load = 1" in out and "load = 0.5" in out
+
+    def test_group_by_allocator_defaults_still_work(self, campaign_file, cache_dir, capsys):
+        main(["run", str(campaign_file), "--cache-dir", cache_dir, "--quiet"])
+        capsys.readouterr()
+        assert main(
+            [
+                "report", str(campaign_file), "--cache-dir", cache_dir,
+                "--group-by", "allocator",
+            ]
+        ) == 0
+        assert "allocator = s-curve" in capsys.readouterr().out
+
+
+class TestBadInputsExitCleanly:
+    def test_unknown_metric_is_a_clean_error(self, campaign_file, cache_dir, capsys):
+        main(["run", str(campaign_file), "--cache-dir", cache_dir, "--quiet"])
+        capsys.readouterr()
+        assert main(
+            [
+                "report", str(campaign_file), "--cache-dir", cache_dir,
+                "--metric", "mean_respons",
+            ]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "unknown metric 'mean_respons'" in err and "mean_response" in err

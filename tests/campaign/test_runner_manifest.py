@@ -1,0 +1,179 @@
+"""Campaign execution, the manifest, and warm resumption."""
+
+import json
+
+from repro.campaign import (
+    CampaignManifest,
+    expand,
+    loads_campaign,
+    manifest_path,
+    run_campaign,
+)
+from repro.runner import ResultCache
+
+CAMPAIGN = """
+[campaign]
+name = "resume"
+
+[defaults]
+seed = 3
+n_jobs = 8
+runtime_scale = 0.01
+
+[axes]
+mesh = ["8x8"]
+pattern = ["ring"]
+load = [1.0, 0.7, 0.4]
+allocator = ["hilbert+bf", "s-curve"]
+"""
+
+
+def _cache(tmp_path) -> ResultCache:
+    return ResultCache(tmp_path / "cache")
+
+
+class TestRun:
+    def test_full_run_completes_all_cells(self, tmp_path):
+        campaign = loads_campaign(CAMPAIGN)
+        run = run_campaign(campaign, cache=_cache(tmp_path))
+        assert len(run.results) == 6
+        assert run.hits == 0 and run.misses == 6
+        assert run.manifest.counts([c.digest for c in run.expansion.cells])["done"] == 6
+
+    def test_results_align_with_selected_cells(self, tmp_path):
+        run = run_campaign(loads_campaign(CAMPAIGN), cache=_cache(tmp_path))
+        for cell, result in zip(run.selected, run.results):
+            assert result.summary.allocator == cell.coords["allocator"]
+            assert result.summary.load_factor == cell.coords["load"]
+
+    def test_run_without_cache_still_returns_results(self, tmp_path):
+        run = run_campaign(loads_campaign(CAMPAIGN))
+        assert len(run.results) == 6
+        assert run.manifest.path is None
+
+    def test_jobs_invariance(self, tmp_path):
+        serial = run_campaign(loads_campaign(CAMPAIGN), cache=_cache(tmp_path / "a"))
+        parallel = run_campaign(
+            loads_campaign(CAMPAIGN), cache=_cache(tmp_path / "b"), jobs=2
+        )
+        assert [r.summary for r in serial.results] == [
+            r.summary for r in parallel.results
+        ]
+
+
+class TestResume:
+    def test_interrupted_campaign_resumes_without_recompute(self, tmp_path):
+        """The acceptance criterion: limit-interrupt a run, then re-run --
+        previously completed cells must all be cache hits."""
+        cache = _cache(tmp_path)
+        first = run_campaign(loads_campaign(CAMPAIGN), cache=cache, limit=2)
+        assert len(first.results) == 2
+        assert first.misses == 2
+        # second invocation: completed cells are skipped entirely by the
+        # next --limit selection...
+        second = run_campaign(loads_campaign(CAMPAIGN), cache=cache, limit=2)
+        assert [c.digest for c in second.selected] != [c.digest for c in first.selected]
+        assert second.misses == 2
+        # ...and a full run recomputes nothing that is already done
+        cache2 = ResultCache(cache.root)  # fresh counters, same artifacts
+        full = run_campaign(loads_campaign(CAMPAIGN), cache=cache2)
+        assert full.hits == 4
+        assert full.misses == 2
+        counts = full.manifest.counts([c.digest for c in full.expansion.cells])
+        assert counts == {
+            "total": 6,
+            "done": 6,
+            "pending": 0,
+            "cached": 4,
+            "computed": 2,
+            "compute_seconds": counts["compute_seconds"],
+        }
+        assert counts["compute_seconds"] > 0
+
+    def test_warm_rerun_is_all_hits(self, tmp_path):
+        cache = _cache(tmp_path)
+        run_campaign(loads_campaign(CAMPAIGN), cache=cache)
+        warm = run_campaign(loads_campaign(CAMPAIGN), cache=ResultCache(cache.root))
+        assert warm.hits == 6 and warm.misses == 0
+        assert all(r.cached for r in warm.results)
+
+    def test_resume_survives_manifest_loss(self, tmp_path):
+        """The artifact cache alone is enough to resume warm; the manifest
+        only tracks status."""
+        cache = _cache(tmp_path)
+        run = run_campaign(loads_campaign(CAMPAIGN), cache=cache)
+        assert run.manifest.path is not None
+        run.manifest.path.unlink()
+        again = run_campaign(loads_campaign(CAMPAIGN), cache=ResultCache(cache.root))
+        assert again.hits == 6 and again.misses == 0
+
+
+class TestManifestFile:
+    def test_manifest_lands_next_to_cache_and_round_trips(self, tmp_path):
+        cache = _cache(tmp_path)
+        campaign = loads_campaign(CAMPAIGN)
+        run = run_campaign(campaign, cache=cache, limit=3)
+        path = manifest_path(cache.root, campaign.name, run.expansion.digest)
+        assert path.is_file()
+        data = json.loads(path.read_text())
+        assert data["campaign_digest"] == run.expansion.digest
+        assert sum(1 for rec in data["cells"].values() if rec["status"] == "done") == 3
+        assert data["runs"][0]["limit"] == 3
+
+        reopened = CampaignManifest.open(path, campaign.name, run.expansion.digest)
+        assert reopened.done_digests() == run.manifest.done_digests()
+
+    def test_digest_mismatch_starts_fresh(self, tmp_path):
+        cache = _cache(tmp_path)
+        campaign = loads_campaign(CAMPAIGN)
+        run = run_campaign(campaign, cache=cache)
+        path = manifest_path(cache.root, campaign.name, run.expansion.digest)
+        stale = CampaignManifest.open(path, campaign.name, "0" * 64)
+        assert stale.done_digests() == set()
+
+    def test_corrupt_manifest_is_discarded(self, tmp_path):
+        cache = _cache(tmp_path)
+        campaign = loads_campaign(CAMPAIGN)
+        run = run_campaign(campaign, cache=cache)
+        run.manifest.path.write_text("{ not json")
+        again = run_campaign(loads_campaign(CAMPAIGN), cache=ResultCache(cache.root))
+        assert again.hits == 6  # artifacts still warm
+
+    def test_edited_campaign_gets_its_own_manifest(self, tmp_path):
+        cache = _cache(tmp_path)
+        run_campaign(loads_campaign(CAMPAIGN), cache=cache)
+        edited = loads_campaign(CAMPAIGN.replace("load = [1.0, 0.7, 0.4]", "load = [1.0]"))
+        run = run_campaign(edited, cache=ResultCache(cache.root))
+        # different expansion digest -> different manifest file, but the
+        # shared (mesh, pattern, load=1.0, allocator) cells stay warm
+        assert run.hits == 2 and run.misses == 0
+        manifests = list((cache.root / "campaigns").glob("*.json"))
+        assert len(manifests) == 2
+
+
+class TestSweepResults:
+    def test_groups_by_mesh_then_pattern(self, tmp_path):
+        text = CAMPAIGN.replace('mesh = ["8x8"]', 'mesh = ["8x8", "4x4x4t"]').replace(
+            'allocator = ["hilbert+bf", "s-curve"]', 'allocator = ["hilbert+bf"]'
+        )
+        run = run_campaign(loads_campaign(text), cache=_cache(tmp_path))
+        groups = run.sweep_results()
+        assert list(groups) == ["8x8", "4x4x4t"]
+        panel = groups["4x4x4t"][0]
+        assert panel.mesh_shape == (4, 4, 4) and panel.torus
+        assert panel.pattern == "ring"
+        assert [c.load_factor for c in panel.cells] == [1.0, 0.7, 0.4]
+
+
+class TestManifestArtifactDrift:
+    def test_limit_recomputes_cells_whose_artifacts_were_pruned(self, tmp_path):
+        """A manifest can outlive its artifacts (prune/vacuum); a limited
+        run must not trust it blindly."""
+        cache = _cache(tmp_path)
+        run_campaign(loads_campaign(CAMPAIGN), cache=cache)
+        assert cache.prune_to_size(0)[0]  # evict every artifact
+        resumed = run_campaign(
+            loads_campaign(CAMPAIGN), cache=ResultCache(cache.root), limit=4
+        )
+        assert len(resumed.selected) == 4
+        assert resumed.misses == 4 and resumed.hits == 0

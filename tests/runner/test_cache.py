@@ -196,3 +196,68 @@ class TestCompactArtifacts:
         assert cache.get(ref) is not None
         assert cache.get(inline) is not None
         assert len(cache) == 1
+
+
+class TestPeek:
+    def test_peek_returns_summary_without_jobs_or_accounting(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        cell = run_cell(_spec())
+        cache.put(cell)
+        peeked = cache.peek(_spec())
+        assert peeked is not None
+        assert peeked.summary == cell.summary
+        assert peeked.jobs == []
+        assert (cache.hits, cache.misses) == (0, 0)
+
+    def test_peek_miss_is_none(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        assert cache.peek(_spec()) is None
+        assert (cache.hits, cache.misses) == (0, 0)
+
+
+class TestPruneFilters:
+    def _warm(self, tmp_path) -> ResultCache:
+        cache = ResultCache(tmp_path / "c")
+        for spec in (_spec(), _spec(pattern="all-to-all"), _spec(allocator="mc")):
+            cache.put(run_cell(spec))
+        return cache
+
+    def test_spec_substr_alone(self, tmp_path):
+        cache = self._warm(tmp_path)
+        removed = cache.prune(spec_substr='"pattern":"all-to-all"')
+        assert len(removed) == 1
+        assert {c.spec.pattern for c in cache.iter_results()} == {"ring"}
+
+    def test_requires_some_criterion(self, tmp_path):
+        import pytest
+
+        with pytest.raises(ValueError, match="prune needs"):
+            self._warm(tmp_path).prune()
+
+    def test_prune_to_size_oldest_first(self, tmp_path):
+        import os
+        import time
+
+        cache = self._warm(tmp_path)
+        paths = list(cache._artifact_paths())
+        now = time.time()
+        for i, p in enumerate(paths):
+            os.utime(p, (now - (3 - i) * 3600, now - (3 - i) * 3600))
+        total = sum(p.stat().st_size for p in paths)
+        cap = total - 1  # forces exactly the oldest out
+        evicted, remaining = cache.prune_to_size(cap)
+        assert evicted == [paths[0]]
+        assert remaining <= cap
+        assert len(cache) == 2
+
+    def test_prune_to_size_zero_clears_all(self, tmp_path):
+        cache = self._warm(tmp_path)
+        evicted, remaining = cache.prune_to_size(0)
+        assert len(evicted) == 3 and remaining == 0
+        assert len(cache) == 0
+
+    def test_prune_to_size_dry_run(self, tmp_path):
+        cache = self._warm(tmp_path)
+        evicted, _ = cache.prune_to_size(0, dry_run=True)
+        assert len(evicted) == 3
+        assert len(cache) == 3

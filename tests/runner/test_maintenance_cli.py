@@ -79,6 +79,73 @@ class TestPrune:
         assert len(warm_cache) == 3
 
 
+class TestPruneSpecSubstr:
+    def test_removes_only_matching_specs(self, warm_cache, capsys):
+        assert main(
+            ["--cache-dir", str(warm_cache.root), "prune", "--spec-substr", "all-to-all"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "removed 1 artifacts with spec matching 'all-to-all'" in out
+        assert len(warm_cache) == 2
+        remaining = {c.spec.pattern for c in warm_cache.iter_results()}
+        assert remaining == {"ring"}
+
+    def test_combines_with_age_cutoff(self, warm_cache, capsys):
+        stale = time.time() - 10 * 86400
+        for p in warm_cache._artifact_paths():
+            os.utime(p, (stale, stale))
+        assert main(
+            [
+                "--cache-dir", str(warm_cache.root), "prune",
+                "--older-than", "7", "--spec-substr", '"allocator":"mc"',
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "older than 7 days and with spec matching" in out
+        assert len(warm_cache) == 2
+        assert all(c.spec.allocator != "mc" for c in warm_cache.iter_results())
+
+    def test_no_criteria_is_an_error(self, warm_cache, capsys):
+        assert main(["--cache-dir", str(warm_cache.root), "prune"]) == 2
+        assert "at least one of" in capsys.readouterr().err
+        assert len(warm_cache) == 3
+
+
+class TestPruneMaxMb:
+    def test_evicts_oldest_first_until_under_cap(self, warm_cache, capsys):
+        paths = list(warm_cache._artifact_paths())
+        sizes = {p: p.stat().st_size for p in paths}
+        # age the artifacts distinctly: paths[0] oldest, paths[2] newest
+        now = time.time()
+        for i, p in enumerate(paths):
+            os.utime(p, (now - (3 - i) * 3600, now - (3 - i) * 3600))
+        keep = sizes[paths[1]] + sizes[paths[2]]
+        cap_mb = (keep + 1) / (1024.0 * 1024.0)
+        assert main(
+            ["--cache-dir", str(warm_cache.root), "prune", "--max-mb", f"{cap_mb:.9f}"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "removed 1 oldest artifacts" in out
+        assert not paths[0].exists()
+        assert paths[1].exists() and paths[2].exists()
+
+    def test_dry_run_keeps_everything(self, warm_cache, capsys):
+        assert main(
+            ["--cache-dir", str(warm_cache.root), "prune", "--max-mb", "0", "--dry-run"]
+        ) == 0
+        assert "would remove 3 oldest artifacts" in capsys.readouterr().out
+        assert len(warm_cache) == 3
+
+    def test_cannot_combine_with_other_criteria(self, warm_cache, capsys):
+        assert main(
+            [
+                "--cache-dir", str(warm_cache.root), "prune",
+                "--max-mb", "1", "--older-than", "7",
+            ]
+        ) == 2
+        assert "cannot combine" in capsys.readouterr().err
+
+
 class TestVacuum:
     def test_removes_corrupt_and_tmp_and_orphans(self, warm_cache, capsys):
         root = warm_cache.root
@@ -137,3 +204,12 @@ class TestRoundTripAfterMaintenance:
         hit = fresh.get(_spec())
         assert hit is not None
         assert hit.summary == run_cell(_spec()).summary
+
+
+class TestPruneBadInputs:
+    def test_negative_max_mb_is_a_clean_error(self, warm_cache, capsys):
+        assert main(
+            ["--cache-dir", str(warm_cache.root), "prune", "--max-mb", "-1"]
+        ) == 2
+        assert "--max-mb must be >= 0" in capsys.readouterr().err
+        assert len(warm_cache) == 3

@@ -30,10 +30,12 @@ class TestTopLevelExports:
 
     def test_subpackage_all_exports(self):
         import repro.analysis
+        import repro.campaign
         import repro.core
         import repro.mesh
         import repro.network
         import repro.patterns
+        import repro.runner
         import repro.sched
         import repro.trace
         import repro.viz
@@ -47,6 +49,8 @@ class TestTopLevelExports:
             repro.trace,
             repro.analysis,
             repro.viz,
+            repro.runner,
+            repro.campaign,
         ):
             for name in module.__all__:
                 assert getattr(module, name) is not None, (module, name)

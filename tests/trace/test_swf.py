@@ -144,3 +144,21 @@ class TestParseSwfEdgeCases:
         jobs = read_swf(io.StringIO(swf_line(1, 0, 10, 4)))
         assert len(jobs) == 1
         assert not [w for w in recwarn.list if issubclass(w.category, UserWarning)]
+
+
+class TestMissingFile:
+    def test_parse_swf_names_path_and_remedy(self, tmp_path):
+        missing = tmp_path / "SDSC-Par-1996.swf"
+        with pytest.raises(FileNotFoundError) as exc:
+            parse_swf(missing)
+        message = str(exc.value)
+        assert str(missing) in message
+        assert "fetch_pwa_log" in message
+
+    def test_read_swf_propagates_the_same_error(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="fetch_pwa_log"):
+            read_swf(str(tmp_path / "nope.swf"))
+
+    def test_string_paths_also_checked(self):
+        with pytest.raises(FileNotFoundError, match="no-such-file.swf"):
+            parse_swf("no-such-file.swf")
