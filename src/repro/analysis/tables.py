@@ -187,8 +187,10 @@ def load_cached_sweep(
     transparently: the summary rows never need the rows hydrated, and the
     cache key is read off the artifact name, so listing a cache works even
     without its workload store.  Each row is
-    :meth:`~repro.sched.stats.RunSummary.row` plus the cell's cache key
-    and compute time; rows sort by (pattern, load descending, allocator).
+    :meth:`~repro.sched.stats.RunSummary.row` plus the cell's cache key;
+    rows sort by (pattern, load descending, allocator).  (Compute wall
+    time is no longer stored in artifacts -- they are content-pure since
+    the tier refactor; per-cell timings live in campaign manifests.)
     """
     from repro.runner.cache import ResultCache
 
@@ -204,7 +206,6 @@ def load_cached_sweep(
             continue
         row = cell.summary.row()
         row["cache_key"] = path.name.partition(".")[0]
-        row["elapsed"] = cell.elapsed
         rows.append(row)
     rows.sort(key=lambda r: (r["pattern"], -r["load"], r["allocator"]))
     return rows

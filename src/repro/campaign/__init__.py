@@ -36,13 +36,15 @@ from repro.campaign.model import (
     parse_mesh,
 )
 from repro.campaign.report import (
+    REPORT_FORMATS,
     completed_cells,
     completed_rows,
+    export_report,
     format_campaign_report,
     format_campaign_status,
     format_expansion,
 )
-from repro.campaign.runner import CampaignRun, run_campaign
+from repro.campaign.runner import CampaignRun, prune_campaign, run_campaign
 
 __all__ = [
     "Campaign",
@@ -52,6 +54,7 @@ __all__ = [
     "CampaignRun",
     "Expansion",
     "MeshAxis",
+    "REPORT_FORMATS",
     "SourceInfo",
     "TraceSource",
     "bundled_campaign_names",
@@ -60,6 +63,7 @@ __all__ = [
     "completed_cells",
     "completed_rows",
     "expand",
+    "export_report",
     "format_campaign_report",
     "format_campaign_status",
     "format_expansion",
@@ -67,5 +71,6 @@ __all__ = [
     "loads_campaign",
     "manifest_path",
     "parse_mesh",
+    "prune_campaign",
     "run_campaign",
 ]

@@ -5,8 +5,11 @@
     python -m repro.campaign expand CAMPAIGN            # cell table
     python -m repro.campaign run CAMPAIGN --jobs 4      # execute (resumable)
     python -m repro.campaign run CAMPAIGN --limit 10    # next 10 pending cells
+    python -m repro.campaign run CAMPAIGN --tier process+shm
     python -m repro.campaign status CAMPAIGN            # manifest counts
     python -m repro.campaign report CAMPAIGN --group-by mesh
+    python -m repro.campaign report CAMPAIGN --format json > cells.json
+    python -m repro.campaign prune CAMPAIGN --dry-run   # retire artifacts+manifest
 
 ``CAMPAIGN`` is a path to a ``.toml``/``.json`` campaign file or the name
 of a bundled campaign (``fig07``, ``fig12``, ``figswf``, ``multishape``,
@@ -15,6 +18,14 @@ standard artifact cache (``--cache-dir`` / ``$REPRO_CACHE_DIR``); the
 campaign manifest lives under ``<cache>/campaigns/`` and re-``run``\\ ning
 an interrupted campaign resumes from it with every completed cell served
 warm.
+
+``--tier`` picks the engine's execution tier (default ``auto``: tiny
+pending grids run in-process, big ones fan out over workers, with the
+shared trace segment whenever ref workloads benefit); results and
+artifacts are identical for every tier.  ``report --format json|csv``
+exports the completed cells for notebooks; ``prune`` deletes a
+campaign's artifacts and manifest in one step (``--dry-run`` first).
+See ``docs/campaign-format.md`` for the complete file-format reference.
 """
 
 from __future__ import annotations
@@ -32,12 +43,15 @@ from repro.campaign.model import (
     load_campaign,
 )
 from repro.campaign.report import (
+    REPORT_FORMATS,
+    export_report,
     format_campaign_report,
     format_campaign_status,
     format_expansion,
 )
-from repro.campaign.runner import run_campaign
+from repro.campaign.runner import prune_campaign, run_campaign
 from repro.runner import ResultCache
+from repro.runner.engine import TIERS
 
 __all__ = ["main", "resolve_campaign_path"]
 
@@ -93,9 +107,16 @@ def _run(args) -> int:
             )
 
     run = run_campaign(
-        campaign, cache=cache, jobs=args.jobs, limit=args.limit, progress=progress
+        campaign,
+        cache=cache,
+        jobs=args.jobs,
+        limit=args.limit,
+        progress=progress,
+        tier=args.tier,
     )
     print(run.summary_line())
+    if run.tier_decision is not None:
+        print(f"[tier] {run.tier_decision.describe()}")
     if cache is not None:
         print(cache.stats_line())
     return 0
@@ -114,16 +135,61 @@ def _report(args) -> int:
         print("report needs the artifact cache (drop --no-cache)", file=sys.stderr)
         return 2
     expansion = expand(campaign, store=cache.traces)
+    if args.format != "table":
+        # json/csv are the flat per-cell records; the pivot-shaping
+        # flags only apply to tables, so passing them is a mistake the
+        # user should hear about rather than silently lose.
+        shaping = [
+            flag
+            for flag, value in (
+                ("--group-by", args.group_by),
+                ("--rows", args.rows),
+                ("--cols", args.cols),
+            )
+            if value is not None
+        ]
+        if shaping:
+            print(
+                f"{'/'.join(shaping)} only shape the table format; "
+                f"--format {args.format} always exports the flat per-cell "
+                "records (group in your notebook instead)",
+                file=sys.stderr,
+            )
+            return 2
+        print(export_report(expansion, cache, metric=args.metric, fmt=args.format))
+        return 0
     print(
         format_campaign_report(
             expansion,
             cache,
-            group_by=args.group_by,
+            group_by=args.group_by if args.group_by is not None else "mesh",
             metric=args.metric,
             rows_axis=args.rows,
             cols_axis=args.cols,
         )
     )
+    return 0
+
+
+def _prune(args) -> int:
+    campaign, cache = _open(args)
+    if cache is None:
+        print("prune needs the artifact cache (drop --no-cache)", file=sys.stderr)
+        return 2
+    removed, manifest_file = prune_campaign(campaign, cache, dry_run=args.dry_run)
+    verb = "would remove" if args.dry_run else "removed"
+    manifest_note = (
+        f" and its manifest ({manifest_file})"
+        if manifest_file is not None
+        else " (no manifest on disk)"
+    )
+    print(
+        f"{verb} {len(removed)} artifacts of campaign "
+        f"{campaign.name!r}{manifest_note}"
+    )
+    if removed and not args.dry_run:
+        print("run 'python -m repro.runner vacuum' to drop traces no "
+              "remaining artifact references")
     return 0
 
 
@@ -171,6 +237,13 @@ def main(argv: list[str] | None = None) -> int:
     p_run.add_argument(
         "--quiet", action="store_true", help="suppress per-cell progress lines"
     )
+    p_run.add_argument(
+        "--tier",
+        default=None,
+        choices=TIERS,
+        help="execution tier (default: the campaign file's tier, else "
+        "'auto'); results are identical for every tier",
+    )
 
     p_status = sub.add_parser("status", help="completion counts from the manifest")
     add_common(p_status)
@@ -180,7 +253,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     add_common(p_report)
     p_report.add_argument(
-        "--group-by", default="mesh", help="axis to group tables by (default: mesh)"
+        "--group-by",
+        default=None,
+        help="axis to group tables by (default: mesh; table format only)",
     )
     p_report.add_argument(
         "--metric",
@@ -197,6 +272,22 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="axis for table columns (default: load, or the first free axis)",
     )
+    p_report.add_argument(
+        "--format",
+        default="table",
+        choices=REPORT_FORMATS,
+        help="output format: human tables, or json/csv cell records for "
+        "notebooks (default: table)",
+    )
+
+    p_prune = sub.add_parser(
+        "prune",
+        help="retire a campaign: delete its cached artifacts and its manifest",
+    )
+    add_common(p_prune)
+    p_prune.add_argument(
+        "--dry-run", action="store_true", help="report what would be removed"
+    )
 
     args = parser.parse_args(argv)
     if args.command == "run" and args.jobs < 1:
@@ -207,6 +298,7 @@ def main(argv: list[str] | None = None) -> int:
         "run": _run,
         "status": _status,
         "report": _report,
+        "prune": _prune,
     }[args.command]
     try:
         return handler(args)

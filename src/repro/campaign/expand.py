@@ -50,7 +50,15 @@ __all__ = [
 
 
 def cell_digest(spec: ExperimentSpec) -> str:
-    """Pure content digest of a cell (both trace representations agree)."""
+    """Pure content digest of a cell (both trace representations agree).
+
+    >>> spec = ExperimentSpec(mesh_shape=(8, 8), pattern="ring",
+    ...                       allocator="mc", load=1.0, seed=1, n_jobs=10)
+    >>> cell_digest(spec)[:12]
+    'f86d22745a54'
+    >>> cell_digest(spec) == cell_digest(spec.with_trace_digest())
+    True
+    """
     canonical = json.dumps(
         spec.with_trace_digest().to_dict(), sort_keys=True, separators=(",", ":")
     )

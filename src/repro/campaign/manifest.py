@@ -116,6 +116,22 @@ class CampaignManifest:
         return {d for d, rec in self.cells.items() if rec.get("status") == "done"}
 
     def mark_done(self, digest: str, coords: dict, cached: bool, elapsed: float) -> None:
+        """Record a completed cell.
+
+        A cache hit for a cell this manifest already saw *computed* adds
+        no information, so the original compute record (its real
+        ``elapsed``) is preserved -- warm re-runs must not erase the
+        timings :meth:`mean_compute_seconds` calibrates the engine's
+        ``auto`` tier with.
+        """
+        prior = self.cells.get(digest)
+        if (
+            cached
+            and prior is not None
+            and prior.get("status") == "done"
+            and not prior.get("cached", True)
+        ):
+            return
         self.cells[digest] = {
             "status": "done",
             "coords": coords,
@@ -125,19 +141,43 @@ class CampaignManifest:
         }
 
     def record_run(
-        self, wall: float, hits: int, misses: int, n_selected: int, limit: int | None
+        self,
+        wall: float,
+        hits: int,
+        misses: int,
+        n_selected: int,
+        limit: int | None,
+        tier: str | None = None,
     ) -> None:
-        """Append one ``run`` invocation's wall/cache accounting."""
-        self.runs.append(
-            {
-                "started_at": time.time() - wall,
-                "wall": float(wall),
-                "hits": int(hits),
-                "misses": int(misses),
-                "n_selected": int(n_selected),
-                "limit": limit,
-            }
-        )
+        """Append one ``run`` invocation's wall/cache/tier accounting."""
+        record = {
+            "started_at": time.time() - wall,
+            "wall": float(wall),
+            "hits": int(hits),
+            "misses": int(misses),
+            "n_selected": int(n_selected),
+            "limit": limit,
+        }
+        if tier is not None:
+            record["tier"] = tier
+        self.runs.append(record)
+
+    def mean_compute_seconds(self) -> float | None:
+        """Mean wall seconds of the cells this manifest saw *computed*.
+
+        The calibration the engine's ``auto`` tier uses instead of
+        probing: cells served from the cache (``cached``) carry no
+        compute time and are excluded.  ``None`` until at least one cell
+        has been computed.
+        """
+        samples = [
+            rec.get("elapsed", 0.0)
+            for rec in self.cells.values()
+            if rec.get("status") == "done" and not rec.get("cached")
+        ]
+        if not samples:
+            return None
+        return sum(samples) / len(samples)
 
     # -- accounting ----------------------------------------------------
     def counts(self, cell_digests) -> dict:

@@ -16,6 +16,10 @@ drivers print.
 
 from __future__ import annotations
 
+import csv
+import io
+import json
+
 from repro.analysis.tables import format_pivot, format_table
 from repro.campaign.expand import CampaignCell, Expansion
 from repro.campaign.manifest import CampaignManifest
@@ -24,10 +28,15 @@ from repro.runner import ResultCache
 __all__ = [
     "completed_cells",
     "completed_rows",
+    "export_report",
     "format_campaign_report",
     "format_campaign_status",
     "format_expansion",
+    "REPORT_FORMATS",
 ]
+
+#: ``report --format`` values: the human table plus two machine formats.
+REPORT_FORMATS = ("table", "json", "csv")
 
 
 def format_expansion(expansion: Expansion, manifest: CampaignManifest | None = None) -> str:
@@ -68,6 +77,7 @@ def format_campaign_status(expansion: Expansion, manifest: CampaignManifest) -> 
                 "hits": rec.get("hits", 0),
                 "misses": rec.get("misses", 0),
                 "wall s": rec.get("wall", 0.0),
+                "tier": rec.get("tier", ""),
                 "limit": rec.get("limit") if rec.get("limit") is not None else "",
             }
             for i, rec in enumerate(manifest.runs)
@@ -133,6 +143,41 @@ def completed_rows(
         row[metric] = getattr(summary, metric)
         rows.append(row)
     return rows, missing
+
+
+def export_report(
+    expansion: Expansion,
+    cache: ResultCache,
+    metric: str = "mean_response",
+    fmt: str = "json",
+) -> str:
+    """Machine-readable campaign results (``report --format json|csv``).
+
+    One flat record per *completed* cell -- its axis coordinates plus the
+    requested :class:`~repro.sched.stats.RunSummary` metric -- exactly
+    the shape notebooks want (``pandas.DataFrame(payload["cells"])`` or
+    ``pandas.read_csv``).  JSON wraps the records with the campaign
+    name, axis order, metric and pending count; CSV is the bare records
+    with a header row (axes in declaration order, metric last).
+    """
+    rows, missing = completed_rows(expansion, cache, metric=metric)
+    if fmt == "json":
+        payload = {
+            "campaign": expansion.campaign.name,
+            "axes": expansion.axis_names,
+            "metric": metric,
+            "completed": len(rows),
+            "pending": missing,
+            "cells": rows,
+        }
+        return json.dumps(payload, indent=2, sort_keys=False)
+    if fmt == "csv":
+        out = io.StringIO()
+        writer = csv.DictWriter(out, fieldnames=expansion.axis_names + [metric])
+        writer.writeheader()
+        writer.writerows(rows)
+        return out.getvalue().rstrip("\n")
+    raise ValueError(f"unknown report format {fmt!r}; known: {list(REPORT_FORMATS)}")
 
 
 def _default_axis(preferred: str, axis_names: list[str], taken: tuple) -> str:

@@ -21,13 +21,14 @@ from __future__ import annotations
 import time
 from collections.abc import Callable
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.campaign.expand import CampaignCell, Expansion, cell_digest, expand
 from repro.campaign.manifest import CampaignManifest, manifest_path
 from repro.campaign.model import Campaign
-from repro.runner import CellResult, ResultCache, run_many
+from repro.runner import CellResult, ResultCache, TierDecision, run_many
 
-__all__ = ["CampaignRun", "run_campaign", "group_sweep_results"]
+__all__ = ["CampaignRun", "run_campaign", "group_sweep_results", "prune_campaign"]
 
 
 def group_sweep_results(pairs) -> dict:
@@ -73,6 +74,8 @@ class CampaignRun:
     wall: float = 0.0
     hits: int = 0
     misses: int = 0
+    #: How the engine dispatched the pending cells (tier + reason).
+    tier_decision: TierDecision | None = None
 
     @property
     def campaign(self) -> Campaign:
@@ -116,6 +119,7 @@ def run_campaign(
     jobs: int = 1,
     limit: int | None = None,
     progress: Callable[[int, int, CellResult], None] | None = None,
+    tier: str | None = None,
 ) -> CampaignRun:
     """Expand and run a campaign, resuming from its manifest.
 
@@ -137,9 +141,18 @@ def run_campaign(
     progress:
         Optional ``callback(done, total, cell)`` forwarded to
         :func:`run_many`.
+    tier:
+        Execution tier for the engine (``auto``/``inline``/``process``/
+        ``process+shm``); ``None`` falls back to the campaign file's
+        ``[campaign] tier`` and then to ``auto``.  When the manifest has
+        recorded compute timings, they calibrate the ``auto`` policy so
+        resumed campaigns skip the probe.  Results, artifacts and cache
+        keys are identical for every tier.
     """
     if limit is not None and limit < 1:
         raise ValueError(f"limit must be >= 1, got {limit}")
+    if tier is None:
+        tier = campaign.tier if campaign.tier is not None else "auto"
     store = cache.traces if cache is not None else None
     expansion = expand(campaign, store=store)
     path = (
@@ -177,15 +190,28 @@ def run_campaign(
         if progress is not None:
             progress(done_n, total, result)
 
+    decisions: list = []
     start = time.perf_counter()
     results = run_many(
-        [c.spec for c in selected], jobs=jobs, cache=cache, progress=on_cell
+        [c.spec for c in selected],
+        jobs=jobs,
+        cache=cache,
+        progress=on_cell,
+        tier=tier,
+        est_cell_s=manifest.mean_compute_seconds(),
+        on_decision=decisions.append,
     )
     wall = time.perf_counter() - start
     hits = (cache.hits - hits0) if cache is not None else 0
     misses = (cache.misses - misses0) if cache is not None else len(selected)
+    decision = decisions[0] if decisions else None
     manifest.record_run(
-        wall, hits=hits, misses=misses, n_selected=len(selected), limit=limit
+        wall,
+        hits=hits,
+        misses=misses,
+        n_selected=len(selected),
+        limit=limit,
+        tier=decision.tier if decision is not None else None,
     )
     manifest.flush()
     return CampaignRun(
@@ -196,4 +222,40 @@ def run_campaign(
         wall=wall,
         hits=hits,
         misses=misses,
+        tier_decision=decision,
     )
+
+
+def prune_campaign(
+    campaign: Campaign, cache: ResultCache, dry_run: bool = False
+) -> tuple[list, Path | None]:
+    """Retire one campaign: its cached artifacts plus its manifest.
+
+    Expands the campaign to recover the exact cell set, removes the
+    artifacts whose cache keys belong to it (via
+    :meth:`ResultCache.prune` with the ``keys`` criterion -- cells
+    shared with *other* sweeps are removed too, but re-running those
+    sweeps simply recomputes them), and deletes the manifest file.
+    ``dry_run`` reports without deleting.  Returns ``(artifact paths,
+    manifest path or None)``; follow with ``vacuum`` to drop traces
+    nothing references any more.
+    """
+    store = cache.traces
+    expansion = expand(campaign, store=store)
+    keys = set()
+    for cell in expansion.cells:
+        try:
+            keys.add(cache.key_for(cell.spec))
+        except KeyError:
+            # Ref spec whose trace already left the store: its artifact
+            # key cannot be recomputed, so there is nothing addressable
+            # left to remove (vacuum handles any corrupt leftovers).
+            continue
+    removed = cache.prune(keys=keys, dry_run=dry_run) if keys else []
+    path = manifest_path(cache.root, campaign.name, expansion.digest)
+    manifest_file: Path | None = None
+    if path.is_file():
+        manifest_file = path
+        if not dry_run:
+            path.unlink()
+    return removed, manifest_file

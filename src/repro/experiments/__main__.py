@@ -19,9 +19,13 @@ Examples::
 
 ``--trace`` feeds a real Standard Workload Format file (e.g. the actual
 SDSC Paragon trace) to the sweep experiments in place of the synthetic
-workload.  ``--jobs``/``--no-cache``/``--cache-dir`` apply to the
-trace-driven experiments (fig7, fig8, fig9/10, fig11, fig12, hybrid,
-contiguous); the cheap closed-form figures ignore them.
+workload.  ``--jobs``/``--no-cache``/``--cache-dir``/``--tier`` apply to
+the trace-driven experiments (fig7, fig8, fig9/10, fig11, fig12, hybrid,
+contiguous); the cheap closed-form figures ignore them.  ``--tier``
+selects the engine's execution tier (``auto`` by default: tiny pending
+grids run in-process, big ones fan out, with the shared-memory trace
+segment when ref workloads benefit); results are identical for every
+tier.
 
 ``fig12`` is the 3-D extension: the Fig 7 sweep on an 8x8x8 torus plus a
 16x16-mesh comparison table (see ``repro.experiments.fig12_torus8``)::
@@ -67,51 +71,55 @@ from repro.experiments import (
     hybrid_workload,
     metric_correlation,
 )
-from repro.runner import ResultCache
+from repro.runner import TIERS, ResultCache
 
 __all__ = ["main", "EXPERIMENTS"]
 
 
-def _fig7(scale, seed, trace, jobs, cache):
+def _fig7(scale, seed, trace, jobs, cache, tier):
     from repro.experiments.sweep import run_sweep
 
     if trace is None:
-        return fig07_sweep16x22.run(scale, seed, jobs=jobs, cache=cache)
-    return run_sweep(fig07_sweep16x22.MESH, scale, trace=trace, jobs=jobs, cache=cache)
+        return fig07_sweep16x22.run(scale, seed, jobs=jobs, cache=cache, tier=tier)
+    return run_sweep(
+        fig07_sweep16x22.MESH, scale, trace=trace, jobs=jobs, cache=cache, tier=tier
+    )
 
 
-def _fig8(scale, seed, trace, jobs, cache):
+def _fig8(scale, seed, trace, jobs, cache, tier):
     from repro.experiments.sweep import run_sweep
 
     if trace is None:
-        return fig08_sweep16x16.run(scale, seed, jobs=jobs, cache=cache)
-    return run_sweep(fig08_sweep16x16.MESH, scale, trace=trace, jobs=jobs, cache=cache)
+        return fig08_sweep16x16.run(scale, seed, jobs=jobs, cache=cache, tier=tier)
+    return run_sweep(
+        fig08_sweep16x16.MESH, scale, trace=trace, jobs=jobs, cache=cache, tier=tier
+    )
 
 
-#: name -> (run(scale, seed, trace, jobs, cache), report(result), description)
+#: name -> (run(scale, seed, trace, jobs, cache, tier), report(result), description)
 EXPERIMENTS = {
     "fig1": (
-        lambda s, seed, tr, j, c: fig01_testsuite.run(s, seed),
+        lambda s, seed, tr, j, c, t: fig01_testsuite.run(s, seed),
         fig01_testsuite.report,
         "running time vs pairwise distance (Cplant test suite, flit engine)",
     ),
     "fig2": (
-        lambda s, seed, tr, j, c: fig02_curves.run(s, seed),
+        lambda s, seed, tr, j, c, t: fig02_curves.run(s, seed),
         fig02_curves.report,
         "S-curve / Hilbert / H-indexing renderings",
     ),
     "fig4": (
-        lambda s, seed, tr, j, c: fig04_shells.run(s, seed),
+        lambda s, seed, tr, j, c, t: fig04_shells.run(s, seed),
         fig04_shells.report,
         "MC shells around a 3x1 request",
     ),
     "fig5": (
-        lambda s, seed, tr, j, c: fig05_nbody.run(s, seed),
+        lambda s, seed, tr, j, c, t: fig05_nbody.run(s, seed),
         fig05_nbody.report,
         "n-body message subphases for 15 processors",
     ),
     "fig6": (
-        lambda s, seed, tr, j, c: fig06_truncation.run(s, seed),
+        lambda s, seed, tr, j, c, t: fig06_truncation.run(s, seed),
         fig06_truncation.report,
         "truncated Hilbert / H-indexing on 16x22 with gaps",
     ),
@@ -126,39 +134,39 @@ EXPERIMENTS = {
         "response time vs load, 16x16 mesh, 3 patterns x 9 allocators",
     ),
     "fig9": (
-        lambda s, seed, tr, j, c: metric_correlation.run(s, seed, jobs=j, cache=c),
+        lambda s, seed, tr, j, c, t: metric_correlation.run(s, seed, jobs=j, cache=c, tier=t),
         metric_correlation.report_fig9,
         "running time vs pairwise distance (128-proc n-body jobs)",
     ),
     "fig10": (
-        lambda s, seed, tr, j, c: metric_correlation.run(s, seed, jobs=j, cache=c),
+        lambda s, seed, tr, j, c, t: metric_correlation.run(s, seed, jobs=j, cache=c, tier=t),
         metric_correlation.report_fig10,
         "running time vs average message distance (same jobs)",
     ),
     "fig11": (
-        lambda s, seed, tr, j, c: fig11_contiguity.run(s, seed, jobs=j, cache=c),
+        lambda s, seed, tr, j, c, t: fig11_contiguity.run(s, seed, jobs=j, cache=c, tier=t),
         fig11_contiguity.report,
         "percent contiguous & average components table",
     ),
     # Extensions beyond the paper's evaluation (DESIGN.md section 4).
     "fig12": (
-        lambda s, seed, tr, j, c: fig12_torus8.run(s, seed, jobs=j, cache=c),
+        lambda s, seed, tr, j, c, t: fig12_torus8.run(s, seed, jobs=j, cache=c, tier=t),
         fig12_torus8.report,
         "EXTENSION: fig7-style sweep on an 8x8x8 torus + 16x16 comparison",
     ),
     "figswf": (
-        lambda s, seed, tr, j, c: figswf_realtrace.run(s, seed, trace=tr, jobs=j, cache=c),
+        lambda s, seed, tr, j, c, t: figswf_realtrace.run(s, seed, trace=tr, jobs=j, cache=c, tier=t),
         figswf_realtrace.report,
         "EXTENSION: real-SWF-trace sweep, 16x16 mesh vs 8x8x8 torus "
         "(bundled mini fixture unless --trace)",
     ),
     "hybrid": (
-        lambda s, seed, tr, j, c: hybrid_workload.run(s, seed, jobs=j, cache=c),
+        lambda s, seed, tr, j, c, t: hybrid_workload.run(s, seed, jobs=j, cache=c, tier=t),
         hybrid_workload.report,
         "EXTENSION: pattern-dispatching hybrid on a mixed workload",
     ),
     "contiguous": (
-        lambda s, seed, tr, j, c: contiguous_baseline.run(s, seed, jobs=j, cache=c),
+        lambda s, seed, tr, j, c, t: contiguous_baseline.run(s, seed, jobs=j, cache=c, tier=t),
         contiguous_baseline.report,
         "EXTENSION: convex-allocation baseline vs noncontiguous",
     ),
@@ -202,6 +210,16 @@ def main(argv: list[str] | None = None) -> int:
         help="recompute every cell instead of reusing .repro-cache/ artifacts",
     )
     parser.add_argument(
+        "--tier",
+        default=None,
+        choices=TIERS,
+        help="execution tier for the engine fan-out (default: the "
+        "bundled campaign file's tier for campaign-backed figures, else "
+        "auto -- tiny grids run in-process, big ones over workers, "
+        "shared-memory trace segment when ref workloads benefit); "
+        "results are identical for every tier",
+    )
+    parser.add_argument(
         "--cache-dir",
         default=None,
         help="result-cache directory (default: $REPRO_CACHE_DIR or .repro-cache)",
@@ -235,7 +253,7 @@ def main(argv: list[str] | None = None) -> int:
     for name in names:
         run_fn, report_fn, _ = EXPERIMENTS[name]
         start = time.perf_counter()
-        result = run_fn(scale, args.seed, trace, args.jobs, cache)
+        result = run_fn(scale, args.seed, trace, args.jobs, cache, args.tier)
         elapsed = time.perf_counter() - start
         print(f"=== {name} (scale={scale.name}, {elapsed:.1f}s) " + "=" * 30)
         print(report_fn(result))

@@ -35,6 +35,7 @@ def run(
     seed: int | None = None,
     jobs: int = 1,
     cache: ResultCache | None = None,
+    tier: str | None = None,
 ) -> ContiguousResult:
     """Replay the all-to-all trace under both allocation disciplines."""
     if seed is not None:
@@ -49,7 +50,7 @@ def run(
         runtime_scale=scale.runtime_scale,
         network=ExperimentSpec.from_network_params(scale.network_params()),
     )
-    contiguous, noncontiguous = run_many(specs, jobs=jobs, cache=cache)
+    contiguous, noncontiguous = run_many(specs, jobs=jobs, cache=cache, tier=tier)
     return ContiguousResult(
         contiguous=contiguous.summary,
         noncontiguous=noncontiguous.summary,

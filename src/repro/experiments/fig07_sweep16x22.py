@@ -36,12 +36,13 @@ def run(
     seed: int | None = None,
     jobs: int = 1,
     cache: ResultCache | None = None,
+    tier: str | None = None,
 ) -> list[SweepResult]:
     """All three panels of Fig 7 (one SweepResult per pattern)."""
     from repro.campaign import bundled_campaign_path, load_campaign, run_campaign
 
     campaign = load_campaign(bundled_campaign_path(CAMPAIGN)).scaled(scale, seed)
-    crun = run_campaign(campaign, cache=cache, jobs=jobs)
+    crun = run_campaign(campaign, cache=cache, jobs=jobs, tier=tier)
     (panels,) = crun.sweep_results().values()
     return panels
 

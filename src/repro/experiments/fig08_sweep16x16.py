@@ -25,11 +25,12 @@ def run(
     seed: int | None = None,
     jobs: int = 1,
     cache: ResultCache | None = None,
+    tier: str | None = None,
 ) -> list[SweepResult]:
     """All three panels of Fig 8 (one SweepResult per pattern)."""
     if seed is not None:
         scale = scale.with_seed(seed)
-    return run_sweep(MESH, scale, jobs=jobs, cache=cache)
+    return run_sweep(MESH, scale, jobs=jobs, cache=cache, tier=tier)
 
 
 def report(results: list[SweepResult]) -> str:

@@ -65,6 +65,7 @@ def run(
     seed: int | None = None,
     jobs: int = 1,
     cache: ResultCache | None = None,
+    tier: str | None = None,
 ) -> Fig11Result:
     """Run the twelve allocators on the Fig 8 all-to-all load-1.0 cell."""
     if seed is not None:
@@ -79,7 +80,7 @@ def run(
         runtime_scale=scale.runtime_scale,
         network=ExperimentSpec.from_network_params(scale.network_params()),
     )
-    return Fig11Result(cells=[c.summary for c in run_many(specs, jobs=jobs, cache=cache)])
+    return Fig11Result(cells=[c.summary for c in run_many(specs, jobs=jobs, cache=cache, tier=tier)])
 
 
 def report(result: Fig11Result) -> str:

@@ -70,6 +70,7 @@ def run(
     seed: int | None = None,
     jobs: int = 1,
     cache: ResultCache | None = None,
+    tier: str | None = None,
 ) -> dict[str, list[SweepResult]]:
     """All three torus panels plus the 16x16 reference sweep.
 
@@ -80,7 +81,7 @@ def run(
     from repro.campaign import bundled_campaign_path, load_campaign, run_campaign
 
     campaign = load_campaign(bundled_campaign_path(CAMPAIGN)).scaled(scale, seed)
-    crun = run_campaign(campaign, cache=cache, jobs=jobs)
+    crun = run_campaign(campaign, cache=cache, jobs=jobs, tier=tier)
     groups = crun.sweep_results()
     return {"torus": groups["8x8x8t"], "mesh2d": groups["16x16"]}
 

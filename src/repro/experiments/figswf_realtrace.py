@@ -98,6 +98,7 @@ def run(
     jobs: int = 1,
     cache: ResultCache | None = None,
     swf_path=None,
+    tier: str | None = None,
 ) -> FigSwfResult:
     """Sweep a real SWF trace over the 16x16 mesh and the 8x8x8 torus.
 
@@ -121,7 +122,7 @@ def run(
         SWF file to ingest; default is the bundled mini fixture.
     """
     if trace is None and swf_path is None:
-        return _run_bundled_campaign(scale, seed, jobs, cache)
+        return _run_bundled_campaign(scale, seed, jobs, cache, tier)
     if seed is not None:
         scale = scale.with_seed(seed)
     parse_report: SwfParseReport | None = None
@@ -155,7 +156,7 @@ def run(
             **workload,
         )
     all_specs = grids["mesh2d"] + grids["torus"]
-    cells = run_many(all_specs, jobs=jobs, cache=cache)
+    cells = run_many(all_specs, jobs=jobs, cache=cache, tier=tier)
 
     per_pattern = len(scale.loads) * len(SWF_ALLOCATORS)
     sweeps: dict[str, list[SweepResult]] = {}
@@ -183,13 +184,17 @@ def run(
 
 
 def _run_bundled_campaign(
-    scale: Scale, seed: int | None, jobs: int, cache: ResultCache | None
+    scale: Scale,
+    seed: int | None,
+    jobs: int,
+    cache: ResultCache | None,
+    tier: str | None = None,
 ) -> FigSwfResult:
     """The default path: the bundled campaign file drives the sweep."""
     from repro.campaign import bundled_campaign_path, load_campaign, run_campaign
 
     campaign = load_campaign(bundled_campaign_path(CAMPAIGN)).scaled(scale, seed)
-    crun = run_campaign(campaign, cache=cache, jobs=jobs)
+    crun = run_campaign(campaign, cache=cache, jobs=jobs, tier=tier)
     groups = crun.sweep_results()
     (info,) = crun.expansion.sources.values()
     return FigSwfResult(

@@ -49,6 +49,7 @@ def run(
     seed: int | None = None,
     jobs: int = 1,
     cache: ResultCache | None = None,
+    tier: str | None = None,
 ) -> HybridResult:
     """Run the mixed workload under every competitor."""
     if seed is not None:
@@ -75,7 +76,7 @@ def run(
         runtime_scale=scale.runtime_scale,
         network=ExperimentSpec.from_network_params(scale.network_params()),
     )
-    cells = [c.summary for c in run_many(specs, jobs=jobs, cache=cache)]
+    cells = [c.summary for c in run_many(specs, jobs=jobs, cache=cache, tier=tier)]
     return HybridResult(cells=cells, pattern_split=split)
 
 

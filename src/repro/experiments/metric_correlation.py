@@ -89,6 +89,7 @@ def run(
     seed: int | None = None,
     jobs: int = 1,
     cache: ResultCache | None = None,
+    tier: str | None = None,
 ) -> CorrelationResult:
     """Run the pooled n-body simulations and collect both scatters."""
     if seed is not None:
@@ -107,7 +108,7 @@ def run(
         network=ExperimentSpec.from_network_params(scale.network_params()),
     )
     pairwise, message, tpm = [], [], []
-    for cell in run_many(specs, jobs=jobs, cache=cache):
+    for cell in run_many(specs, jobs=jobs, cache=cache, tier=tier):
         for job in cell.jobs:
             if job.size != TARGET_SIZE:
                 continue

@@ -102,15 +102,18 @@ def run_sweep(
     trace: list[Job] | None = None,
     jobs: int = 1,
     cache: ResultCache | None = None,
+    tier: str | None = None,
 ) -> list[SweepResult]:
     """Run the full panel grid for one mesh; one SweepResult per pattern.
 
     ``jobs`` parallelises the grid over worker processes; ``cache`` reuses
-    previously computed cells.  Results are cell-for-cell identical for
-    any ``jobs`` value (each cell is deterministic in its spec).
+    previously computed cells; ``tier`` picks the engine's execution tier
+    (see :func:`repro.runner.run_many`).  Results are cell-for-cell
+    identical for any ``jobs``/``tier`` value (each cell is deterministic
+    in its spec).
     """
     specs = build_sweep_specs(mesh, scale, patterns, allocators, trace)
-    cells = run_many(specs, jobs=jobs, cache=cache)
+    cells = run_many(specs, jobs=jobs, cache=cache, tier=tier)
     per_pattern = len(scale.loads) * len(allocators)
     results = []
     for p, pattern_name in enumerate(patterns):

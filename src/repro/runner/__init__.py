@@ -8,10 +8,16 @@ into a value -- an :class:`ExperimentSpec` that is hashable and
 JSON-serializable -- and provides:
 
 * :func:`run_cell`: execute one spec deterministically,
-* :func:`run_many`: fan a spec list out over ``multiprocessing`` workers
-  with chunked dispatch, preserving spec order in the results --
+* :func:`run_many`: dispatch a spec list through pluggable **execution
+  tiers** -- ``inline`` (in-process, no Pool spin-up), ``process``
+  (chunked ``multiprocessing`` fan-out), ``process+shm`` (fan-out plus
+  a per-run shared packed-trace segment, :mod:`repro.trace.segment`)
+  and the default ``auto`` policy that picks by pending-cell count and
+  estimated per-cell cost -- preserving spec order in the results and
   interning inline explicit traces into the content-addressed workload
-  store (:mod:`repro.trace.store`) so workers receive digest-sized refs,
+  store (:mod:`repro.trace.store`) so workers receive digest-sized
+  refs.  Tiers are a transport choice only: results, artifacts and
+  cache keys are byte-identical across all of them,
 * :class:`ResultCache`: a compressed artifact store under
   ``.repro-cache/`` keyed by spec hash, so repeated sweeps and the
   benchmark suite skip already-computed cells; explicit traces are
@@ -27,6 +33,9 @@ exposes it through ``--jobs N`` and ``--no-cache``, and
 from repro.runner.cache import CACHE_FORMAT, ResultCache, VacuumReport, default_cache_root
 from repro.runner.engine import (
     MIXED_A2A_NBODY,
+    TIERS,
+    TierDecision,
+    choose_tier,
     mixed_pattern_selector,
     run_cell,
     run_many,
@@ -40,6 +49,9 @@ __all__ = [
     "ResultCache",
     "VacuumReport",
     "CACHE_FORMAT",
+    "TIERS",
+    "TierDecision",
+    "choose_tier",
     "default_cache_root",
     "run_cell",
     "run_many",

@@ -8,17 +8,27 @@ file degrades to a miss instead of returning wrong numbers.  Writes go
 through a temp file + :func:`os.replace` so concurrent runs never observe
 a torn artifact.
 
-Artifact format 2 (this refactor) stores explicit traces by reference
-into the sibling workload store (``<root>/traces/``, see
-:mod:`repro.trace.store`) and packs per-job results into compact rows:
-fields the base trace already determines (arrival, size, quota) are
-dropped and rebuilt on load, the two hop metrics are stored as their
-exact integer numerators, and the JSON is gzip-compressed on disk
-(``<key>.json.gz``).  Every encode is verified by an immediate decode
-round-trip, so a cache hit is bit-identical to the computed cell; cells
-that cannot be packed losslessly fall back to full rows.  Format-1
-artifacts (plain ``<key>.json`` with inline traces) remain readable, and
-the cache key itself is unchanged, so pre-refactor caches stay warm.
+Artifact format 2 stores explicit traces by reference into the sibling
+workload store (``<root>/traces/``, see :mod:`repro.trace.store`) and
+packs per-job results into compact rows: fields the base trace already
+determines (arrival, size, quota) are dropped and rebuilt on load, the
+two hop metrics are stored as their exact integer numerators, and the
+JSON is gzip-compressed on disk (``<key>.json.gz``).  Every encode is
+verified by an immediate decode round-trip, so a cache hit is
+bit-identical to the computed cell; cells that cannot be packed
+losslessly fall back to full rows.  Format-1 artifacts (plain
+``<key>.json`` with inline traces) remain readable, and the cache key
+itself is unchanged, so pre-refactor caches stay warm.
+
+Artifacts are **byte-deterministic** in the cell's content: the gzip
+header carries no timestamp or filename and volatile fields (compute
+wall time) are not stored, so within one environment the same spec
+produces the identical artifact file no matter when, or through which
+execution tier, it ran.  That is what the cross-tier determinism tests
+compare.  (Across machines the decompressed payload is still identical,
+but the compressed bytes are only guaranteed per zlib build --
+different zlib implementations may emit different streams for the same
+input.)
 """
 
 from __future__ import annotations
@@ -281,7 +291,12 @@ class ResultCache:
         The artifact references the cell's trace by digest (interning
         inline rows into :attr:`traces`) and packs per-job rows whenever
         the packed form decodes back bit-identically; otherwise it falls
-        back to full rows.
+        back to full rows.  The bytes written are a pure function of the
+        cell's content and the zlib build: the gzip stream carries
+        ``mtime=0`` and no filename, and volatile run accounting
+        (``elapsed``) stays out of the payload, so every execution tier
+        -- and every run in the same environment -- produces the
+        identical file for the same spec.
         """
         self.root.mkdir(parents=True, exist_ok=True)
         spec = result.spec.intern(self.traces)
@@ -289,7 +304,6 @@ class ResultCache:
             "format": CACHE_FORMAT,
             "spec": spec.to_dict(),
             "summary": summary_to_dict(result.summary),
-            "elapsed": result.elapsed,
         }
         packed = pack_job_results(result.jobs)
         if packed is not None:
@@ -308,8 +322,12 @@ class ResultCache:
             payload["jobs"] = [_job_to_list(j) for j in result.jobs]
         path = self.root / f"{spec.cache_key(self.traces)}.json.gz"
         tmp = path.parent / f"{path.name}.tmp{os.getpid()}"
-        with gzip.open(tmp, "wt", encoding="utf-8", compresslevel=9) as fh:
-            json.dump(payload, fh)
+        with open(tmp, "wb") as raw:
+            # filename="" and mtime=0 keep the gzip header content-pure.
+            with gzip.GzipFile(
+                filename="", fileobj=raw, mode="wb", compresslevel=9, mtime=0
+            ) as fh:
+                fh.write(json.dumps(payload).encode("utf-8"))
         os.replace(tmp, path)
         return path
 
@@ -371,19 +389,23 @@ class ResultCache:
         older_than_days: float | None = None,
         dry_run: bool = False,
         spec_substr: str | None = None,
+        keys: "set[str] | frozenset[str] | None" = None,
     ) -> list[Path]:
-        """Remove artifacts by age and/or spec content.
+        """Remove artifacts by age, spec content, and/or cache key.
 
         ``older_than_days`` keeps artifacts written within the window;
         ``spec_substr`` restricts removal to artifacts whose canonical
-        spec JSON contains the substring (see :meth:`_spec_matches`).
-        Given both, an artifact must satisfy both to be removed; at least
-        one criterion is required.  Deletes unless ``dry_run``; returns
-        the affected paths.  Follow with :meth:`vacuum` to drop traces no
-        artifact references any more.
+        spec JSON contains the substring (see :meth:`_spec_matches`);
+        ``keys`` restricts removal to artifacts whose cache key (the
+        filename before its suffixes) is in the given set -- this is how
+        ``python -m repro.campaign prune`` retires exactly one
+        campaign's cells.  Criteria combine with AND; at least one is
+        required.  Deletes unless ``dry_run``; returns the affected
+        paths.  Follow with :meth:`vacuum` to drop traces no artifact
+        references any more.
         """
-        if older_than_days is None and spec_substr is None:
-            raise ValueError("prune needs older_than_days and/or spec_substr")
+        if older_than_days is None and spec_substr is None and keys is None:
+            raise ValueError("prune needs older_than_days, spec_substr and/or keys")
         cutoff = (
             None if older_than_days is None else time.time() - older_than_days * 86400.0
         )
@@ -393,6 +415,8 @@ class ResultCache:
                 if cutoff is not None and path.stat().st_mtime >= cutoff:
                     continue
             except OSError:
+                continue
+            if keys is not None and path.name.partition(".")[0] not in keys:
                 continue
             if spec_substr is not None and not self._spec_matches(path, spec_substr):
                 continue

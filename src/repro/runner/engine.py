@@ -1,4 +1,4 @@
-"""Cell execution and the multiprocessing orchestrator.
+"""Cell execution and the tiered dispatch orchestrator.
 
 :func:`run_cell` turns one :class:`~repro.runner.spec.ExperimentSpec`
 into a :class:`~repro.runner.spec.CellResult`, fully deterministically:
@@ -7,10 +7,33 @@ coordinates, so the same spec always produces bit-identical results --
 whether it runs in-process, in a worker, or was loaded from the cache.
 
 :func:`run_many` is the fan-out: cache lookups first, then duplicate
-specs coalesced, then the remaining cells dispatched to a
-``multiprocessing.Pool`` in chunks (``jobs <= 1`` runs serially
-in-process, which is also the fallback the determinism tests compare
-against).  Results always come back in spec order.
+specs coalesced, then the remaining cells dispatched through one of
+three pluggable **execution tiers**:
+
+``inline``
+    Run every pending cell in the calling process, no Pool spin-up.
+    The cheapest tier for grids of tiny cells, where process fan-out
+    costs more than the simulations themselves.
+``process``
+    The chunked ``multiprocessing.Pool`` fan-out; workers hydrate
+    ``trace_ref`` specs from the on-disk workload store.
+``process+shm``
+    The Pool fan-out plus a per-run packed-column trace segment
+    (:mod:`repro.trace.segment`): every referenced trace is packed once
+    by the parent and workers hydrate it through a shared read-only
+    mmap instead of each re-reading ``traces/<digest>.json`` -- the
+    per-run analogue of moving as little data per cell as possible.
+``auto`` (the default)
+    Picks a tier from the pending-cell count and the estimated per-cell
+    cost: a caller-provided estimate (e.g. a campaign manifest's
+    recorded timings) or a one-cell in-process probe whose result is
+    kept.  Small grids stay inline; big ones fan out, with the segment
+    added whenever ref specs would benefit.
+
+Every tier produces byte-identical results, artifacts and cache keys
+for the same spec list -- tiers are a *transport* choice, never a
+semantic one (pinned by the cross-tier determinism tests).  Results
+always come back in spec order.
 
 Specs carrying an inline explicit trace are *interned* on submission
 whenever a workload store is available (the cache's sibling store by
@@ -24,8 +47,11 @@ artifacts are identical either way.
 from __future__ import annotations
 
 import multiprocessing
+import os
+import tempfile
 import time
 from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -36,6 +62,7 @@ from repro.runner.cache import ResultCache
 from repro.runner.spec import CellResult, ExperimentSpec
 from repro.sched.simulator import Simulation
 from repro.sched.stats import summarize
+from repro.trace.segment import SegmentBackedStore, TraceSegment, write_segment
 from repro.trace.store import TraceStore
 
 __all__ = [
@@ -44,15 +71,35 @@ __all__ = [
     "sweep_specs",
     "MIXED_A2A_NBODY",
     "mixed_pattern_selector",
+    "TIERS",
+    "TierDecision",
+    "choose_tier",
+    "AUTO_INLINE_BUDGET_S",
 ]
 
 #: Pattern sentinel for the hybrid experiment's 50/50 all-to-all / n-body
 #: mix; specs are name-keyed, so the mixed workload needs a stable name.
 MIXED_A2A_NBODY = "mixed(a2a+nbody)"
 
+#: Accepted values of the ``tier=`` knob, ``auto`` first as the default.
+TIERS = ("auto", "inline", "process", "process+shm")
+
+#: ``auto`` stays inline while the *estimated remaining serial time* is at
+#: most this many seconds: a Pool can save at most ``(1 - 1/workers)`` of
+#: it, which below this budget is comparable to the fork/IPC/teardown
+#: overhead it adds.  Deliberately a module constant so tests (and
+#: unusual deployments) can tune it.
+AUTO_INLINE_BUDGET_S = 1.0
+
 
 def mixed_pattern_selector(seed: int) -> Callable:
-    """Deterministic 50/50 all-to-all / n-body assignment by job id."""
+    """Deterministic 50/50 all-to-all / n-body assignment by job id.
+
+    >>> select = mixed_pattern_selector(seed=7)
+    >>> from repro.sched.job import Job
+    >>> [select(Job(i, 0.0, 4, 1.0)).name for i in range(6)]
+    ['all-to-all', 'all-to-all', 'all-to-all', 'all-to-all', 'n-body', 'n-body']
+    """
     a2a = get_pattern("all-to-all")
     nbody = get_pattern("n-body")
 
@@ -65,12 +112,23 @@ def mixed_pattern_selector(seed: int) -> Callable:
     return select
 
 
-def run_cell(spec: ExperimentSpec, store: TraceStore | None = None) -> CellResult:
+def run_cell(spec: ExperimentSpec, store=None) -> CellResult:
     """Execute one cell; deterministic in the spec alone.
 
-    ``store`` hydrates ref specs (``trace_ref``); inline and synthetic
-    specs never touch it.  ``None`` falls back to the default workload
-    store under ``$REPRO_CACHE_DIR``/``.repro-cache``.
+    ``store`` hydrates ref specs (``trace_ref``) and may be a
+    :class:`~repro.trace.store.TraceStore` or any object with its
+    ``get(digest)`` contract (e.g. a
+    :class:`~repro.trace.segment.SegmentBackedStore`); inline and
+    synthetic specs never touch it.  ``None`` falls back to the default
+    workload store under ``$REPRO_CACHE_DIR``/``.repro-cache``.
+
+    >>> cell = run_cell(ExperimentSpec(
+    ...     mesh_shape=(16, 22), pattern="ring", allocator="row-major",
+    ...     load=1.0, seed=1, n_jobs=3, runtime_scale=0.01))
+    >>> cell.summary.n_jobs
+    3
+    >>> run_cell(cell.spec).summary == cell.summary
+    True
     """
     start = time.perf_counter()
     if spec.pattern == MIXED_A2A_NBODY:
@@ -99,16 +157,170 @@ def run_cell(spec: ExperimentSpec, store: TraceStore | None = None) -> CellResul
     )
 
 
+# ----------------------------------------------------------------------
+# Execution tiers
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TierDecision:
+    """How (and why) a :func:`run_many` call dispatched its pending cells.
+
+    ``requested`` is the caller's ``tier=`` value; ``tier`` the concrete
+    tier that ran (never ``auto``); ``n_cells`` the pending cells the
+    decision covered (including a probe cell, when one ran);
+    ``est_cell_s`` the per-cell cost estimate ``auto`` used (``None``
+    for forced tiers and trivial grids).
+    """
+
+    requested: str
+    tier: str
+    n_cells: int
+    reason: str
+    est_cell_s: float | None = None
+
+    def describe(self) -> str:
+        """One line for CLIs: ``process+shm (auto: ...)``."""
+        est = (
+            f", ~{self.est_cell_s * 1e3:.1f} ms/cell"
+            if self.est_cell_s is not None
+            else ""
+        )
+        return f"{self.tier} ({self.requested}: {self.reason}{est})"
+
+
+def choose_tier(
+    n_pending: int,
+    jobs: int,
+    est_cell_s: float | None = None,
+    has_refs: bool = False,
+) -> TierDecision:
+    """The ``auto`` policy as a pure function of the grid's shape.
+
+    Inline whenever a Pool cannot pay for itself: one worker, at most
+    one pending cell, or an estimated remaining serial time within
+    :data:`AUTO_INLINE_BUDGET_S`.  Otherwise the process tier, upgraded
+    to ``process+shm`` when ref specs could hydrate from a shared
+    segment.  With no estimate available the caller is expected to
+    probe one cell first (see :func:`run_many`).
+
+    >>> choose_tier(100, jobs=4, est_cell_s=0.001).tier
+    'inline'
+    >>> choose_tier(100, jobs=4, est_cell_s=0.5).tier
+    'process'
+    >>> choose_tier(100, jobs=4, est_cell_s=0.5, has_refs=True).tier
+    'process+shm'
+    >>> choose_tier(100, jobs=1).tier
+    'inline'
+    """
+    if jobs <= 1:
+        return TierDecision("auto", "inline", n_pending, "single worker")
+    if n_pending <= 1:
+        return TierDecision("auto", "inline", n_pending, "at most one pending cell")
+    if est_cell_s is not None:
+        remaining = n_pending * est_cell_s
+        if remaining <= AUTO_INLINE_BUDGET_S:
+            return TierDecision(
+                "auto",
+                "inline",
+                n_pending,
+                f"~{remaining:.2f}s of serial work fits the "
+                f"{AUTO_INLINE_BUDGET_S:g}s inline budget",
+                est_cell_s,
+            )
+        tier = "process+shm" if has_refs else "process"
+        return TierDecision(
+            "auto",
+            tier,
+            n_pending,
+            f"~{remaining:.2f}s of serial work over {jobs} workers",
+            est_cell_s,
+        )
+    return TierDecision("auto", "probe", n_pending, "no cost estimate; probing")
+
+
 def _worker(payload: tuple[ExperimentSpec, str | None]) -> CellResult:
     """Pool entry point (top-level so it pickles under spawn too).
 
     ``payload`` is ``(spec, store_root)``: the store location rides along
     explicitly because workers must hydrate ref specs against the same
     store the parent interned into (which need not be the default root).
+    Under the ``process+shm`` tier the initializer has announced a trace
+    segment; hydration then goes through the shared mapping with the
+    store as fallback.
     """
     spec, store_root = payload
     store = TraceStore(store_root) if store_root is not None else None
+    if _WORKER_SEGMENT_PATH is not None:
+        store = SegmentBackedStore(_worker_segment(), fallback=store)
     return run_cell(spec, store=store)
+
+
+#: Path of the current run's trace segment, set per worker process by the
+#: Pool initializer (``None`` outside the ``process+shm`` tier).
+_WORKER_SEGMENT_PATH: str | None = None
+_WORKER_SEGMENT: TraceSegment | None = None
+
+
+def _init_segment_worker(segment_path: str) -> None:
+    """Pool initializer for the ``process+shm`` tier (runs in the child)."""
+    global _WORKER_SEGMENT_PATH, _WORKER_SEGMENT
+    _WORKER_SEGMENT_PATH = segment_path
+    _WORKER_SEGMENT = None  # opened lazily on first ref hydration
+
+
+def _worker_segment() -> TraceSegment:
+    global _WORKER_SEGMENT
+    if _WORKER_SEGMENT is None:
+        _WORKER_SEGMENT = TraceSegment(_WORKER_SEGMENT_PATH)
+    return _WORKER_SEGMENT
+
+
+def _run_pool(
+    work: list[ExperimentSpec],
+    fan_out: Callable[[CellResult], None],
+    store: TraceStore | None,
+    store_root: str | None,
+    n_workers: int,
+    with_segment: bool,
+) -> None:
+    """Fan ``work`` out over a Pool, optionally through a trace segment.
+
+    The segment is cut once from the parent's store (only the digests
+    this run actually references), announced to workers through the Pool
+    initializer, and removed when the Pool is done -- per-run state,
+    never persistent.  With no refs (or no store) the segment is skipped
+    and the tier degrades to plain ``process`` transparently.
+    """
+    initializer = None
+    initargs: tuple = ()
+    segment_path = None
+    try:
+        if with_segment and store is not None:
+            digests = sorted({s.trace_ref for s in work if s.trace_ref is not None})
+            if digests:
+                fd, segment_path = tempfile.mkstemp(
+                    prefix="repro-segment-", suffix=".bin"
+                )
+                os.close(fd)
+                try:
+                    traces = {d: store.get(d) for d in digests}
+                except KeyError as exc:
+                    raise KeyError(
+                        f"cannot cut the process+shm trace segment: {exc.args[0]}"
+                    ) from None
+                write_segment(segment_path, traces)
+                initializer, initargs = _init_segment_worker, (segment_path,)
+        # Chunked dispatch amortises pickling without starving workers.
+        chunksize = max(1, len(work) // (n_workers * 4))
+        payloads = [(spec, store_root) for spec in work]
+        with multiprocessing.Pool(
+            processes=n_workers, initializer=initializer, initargs=initargs
+        ) as pool:
+            for cell in pool.imap_unordered(_worker, payloads, chunksize=chunksize):
+                fan_out(cell)
+    finally:
+        if segment_path is not None:
+            os.unlink(segment_path)
 
 
 def run_many(
@@ -117,15 +329,18 @@ def run_many(
     cache: ResultCache | None = None,
     progress: Callable[[int, int, CellResult], None] | None = None,
     store: TraceStore | None = None,
+    tier: str | None = "auto",
+    est_cell_s: float | None = None,
+    on_decision: Callable[[TierDecision], None] | None = None,
 ) -> list[CellResult]:
-    """Run every spec, in parallel, reusing cached cells.
+    """Run every spec, reusing cached cells, through an execution tier.
 
     Parameters
     ----------
     specs:
         The grid cells; the returned list is index-aligned with it.
     jobs:
-        Worker processes.  ``<= 1`` runs serially in the calling process
+        Worker processes.  ``<= 1`` always runs in the calling process
         (same results, by construction -- see the determinism tests).
     cache:
         Optional :class:`ResultCache`; hits skip computation, misses are
@@ -138,6 +353,19 @@ def run_many(
         dispatch and to hydrate ref specs.  Defaults to the cache's
         sibling store; with neither cache nor store, inline specs are
         dispatched as-is (ref specs then hydrate from the default store).
+    tier:
+        Execution tier: ``"inline"``, ``"process"``, ``"process+shm"``
+        or ``"auto"`` (see the module docstring); ``None`` means
+        ``"auto"``, so callers can thread through an unset CLI flag
+        untouched.  Tiers change *where* cells compute, never *what*
+        they compute: results, artifacts and cache keys are
+        byte-identical across all of them.
+    est_cell_s:
+        Estimated per-cell compute seconds, used by ``auto`` instead of
+        probing (e.g. a campaign manifest's recorded mean).
+    on_decision:
+        Optional callback receiving the :class:`TierDecision` actually
+        taken -- observability for CLIs and the campaign manifest.
 
     Notes
     -----
@@ -145,6 +373,10 @@ def run_many(
     in ``CellResult.spec``; it is the same cell (identical cache key and
     results) in the compact representation.
     """
+    if tier is None:
+        tier = "auto"
+    if tier not in TIERS:
+        raise ValueError(f"unknown execution tier {tier!r}; known tiers: {list(TIERS)}")
     spec_list = list(specs)
     total = len(spec_list)
     results: list[CellResult | None] = [None] * total
@@ -181,14 +413,54 @@ def run_many(
             resolve(i, cell)
 
     work = list(pending)
+    n_pending = len(work)
+    has_refs = any(s.trace_ref is not None for s in work)
+
+    # -- tier resolution ------------------------------------------------
+    if tier == "auto":
+        decision = choose_tier(n_pending, jobs, est_cell_s, has_refs)
+        if decision.tier == "probe":
+            # Calibrate with up to two real cells, in-process; their
+            # results count.  The minimum of the two is the estimate:
+            # the very first cell pays one-time warm-up (imports, numpy
+            # dispatch caches) that would otherwise overstate the grid
+            # several-fold.
+            probes = []
+            while work and len(probes) < 2:
+                probe = run_cell(work[0], store=store)
+                fan_out(probe)
+                work = work[1:]
+                probes.append(probe.elapsed)
+            decision = choose_tier(len(work), jobs, min(probes), has_refs)
+            decision = TierDecision(
+                "auto",
+                decision.tier,
+                n_pending,
+                f"probed {len(probes)} cells; {decision.reason}",
+                decision.est_cell_s,
+            )
+    elif jobs <= 1 or n_pending <= 1:
+        decision = TierDecision(
+            tier,
+            "inline",
+            n_pending,
+            "forced" if tier == "inline" else "single worker or <= 1 pending cell",
+        )
+    else:
+        decision = TierDecision(tier, tier, n_pending, "forced")
+    if on_decision is not None:
+        on_decision(decision)
+
     n_workers = max(1, min(jobs, len(work)))
-    if n_workers > 1:
-        # Chunked dispatch amortises pickling without starving workers.
-        chunksize = max(1, len(work) // (n_workers * 4))
-        payloads = [(spec, store_root) for spec in work]
-        with multiprocessing.Pool(processes=n_workers) as pool:
-            for cell in pool.imap_unordered(_worker, payloads, chunksize=chunksize):
-                fan_out(cell)
+    if decision.tier in ("process", "process+shm") and n_workers > 1 and work:
+        _run_pool(
+            work,
+            fan_out,
+            store,
+            store_root,
+            n_workers,
+            with_segment=decision.tier == "process+shm",
+        )
     else:
         for spec in work:
             fan_out(run_cell(spec, store=store))
@@ -214,7 +486,13 @@ def sweep_specs(
     (pattern-major, then load, then allocator).  ``mesh_shape`` may be a
     2- or 3-tuple; ``torus`` wraps opposite faces (fig12's 8x8x8 torus);
     the explicit workload may be inline rows (``trace``) or an interned
-    digest (``trace_ref``)."""
+    digest (``trace_ref``).
+
+    >>> grid = sweep_specs((8, 8), ("ring", "all-to-all"), (1.0, 0.5),
+    ...                    ("mc",), seed=1, n_jobs=10)
+    >>> [(s.pattern, s.load) for s in grid]
+    [('ring', 1.0), ('ring', 0.5), ('all-to-all', 1.0), ('all-to-all', 0.5)]
+    """
     return [
         ExperimentSpec(
             mesh_shape=tuple(mesh_shape),

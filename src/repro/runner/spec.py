@@ -198,6 +198,13 @@ class ExperimentSpec:
         Inline rows are replaced by their content address, so the two
         forms of the same cell compare equal; used by the cache to
         validate artifacts against requesting specs.
+
+        >>> from repro.trace.store import trace_digest
+        >>> inline = ExperimentSpec(mesh_shape=(8, 8), pattern="ring",
+        ...                         allocator="mc", load=1.0, seed=1,
+        ...                         trace=((0, 0.0, 4, 10.0),))
+        >>> inline.with_trace_digest().trace_ref == trace_digest(inline.trace)
+        True
         """
         if self.trace is None:
             return self
@@ -278,6 +285,13 @@ class ExperimentSpec:
         store when ``None``) before hashing, so interning is cache-key
         neutral: both forms of a cell address the same artifact, and every
         pre-refactor inline key is byte-identical.
+
+        >>> spec = ExperimentSpec(mesh_shape=(8, 8), pattern="ring",
+        ...                       allocator="mc", load=1.0, seed=1, n_jobs=10)
+        >>> spec.cache_key()[:12]
+        'f86d22745a54'
+        >>> ExperimentSpec.from_dict(spec.to_dict()) == spec
+        True
         """
         spec = self.resolve(store) if self.trace_ref is not None else self
         canonical = json.dumps(spec.to_dict(), sort_keys=True, separators=(",", ":"))

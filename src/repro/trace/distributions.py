@@ -10,6 +10,7 @@ tail decay is solved numerically so the mean matches exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -93,7 +94,18 @@ class PowerOfTwoSizes:
         ``max_other`` caps the uniform non-power-of-two branch (production
         traces put almost all their odd sizes well below the machine size;
         the large-size tail is carried by the powers of two).
+
+        The bisection is a pure function of the four arguments, and the
+        experiment engine calls it once per synthetic cell with the same
+        configuration -- so the solve is memoised (the returned arrays
+        are read-only; every caller treats the sampler as immutable).
         """
+        return _fit_power_of_two(float(mean), int(max_size), float(p2), int(max_other))
+
+    @staticmethod
+    def _solve(
+        mean: float, max_size: int, p2: float, max_other: int
+    ) -> "PowerOfTwoSizes":
         if not 0 < p2 <= 1:
             raise ValueError("p2 must be in (0, 1]")
         powers = []
@@ -135,7 +147,9 @@ class PowerOfTwoSizes:
             else:
                 hi = mid
         sizes, probs = mixture(0.5 * (lo + hi))
-        return cls(sizes=sizes, probs=probs)
+        sizes.setflags(write=False)
+        probs.setflags(write=False)
+        return PowerOfTwoSizes(sizes=sizes, probs=probs)
 
     @property
     def mean(self) -> float:
@@ -152,3 +166,11 @@ class PowerOfTwoSizes:
     def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
         """Draw ``size`` job sizes."""
         return rng.choice(self.sizes, size=size, p=self.probs)
+
+
+@lru_cache(maxsize=64)
+def _fit_power_of_two(
+    mean: float, max_size: int, p2: float, max_other: int
+) -> PowerOfTwoSizes:
+    """Memoised :meth:`PowerOfTwoSizes.fit` solve (pure in its arguments)."""
+    return PowerOfTwoSizes._solve(mean, max_size, p2, max_other)

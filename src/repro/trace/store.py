@@ -58,7 +58,11 @@ def _canonical_rows(rows) -> list[list]:
 
 
 def canonical_trace(rows) -> tuple[TraceRow, ...]:
-    """The normalised tuple form of a trace (what specs and the store hold)."""
+    """The normalised tuple form of a trace (what specs and the store hold).
+
+    >>> canonical_trace([(0, 0, "4", 10)])
+    ((0, 0.0, 4, 10.0),)
+    """
     return tuple((int(j), float(a), int(s), float(r)) for j, a, s, r in rows)
 
 
@@ -69,6 +73,11 @@ def trace_digest(rows) -> str:
     normalised rows serialize to the same bytes.  It is also exactly the
     fragment an inline spec contributes to its cache key, which is what
     keeps interning cache-key-neutral.
+
+    >>> trace_digest([(0, 0.0, 4, 10.0)])[:12]
+    '83eb952851e7'
+    >>> trace_digest(((0, 0, 4, 10),)) == trace_digest([(0, 0.0, 4, 10.0)])
+    True
     """
     payload = json.dumps(_canonical_rows(rows), separators=(",", ":"))
     return hashlib.sha256(payload.encode()).hexdigest()

@@ -131,6 +131,10 @@ def apply_load_factor(jobs: list[Job], load_factor: float) -> list[Job]:
 
     ``load_factor=1`` is the trace as recorded; smaller values compress
     arrivals, raising the offered load by ``1 / load_factor``.
+
+    >>> jobs = [Job(0, 0.0, 4, 10.0), Job(1, 100.0, 8, 5.0)]
+    >>> [j.arrival for j in apply_load_factor(jobs, 0.5)]
+    [0.0, 50.0]
     """
     if load_factor <= 0:
         raise ValueError("load_factor must be positive")
@@ -146,7 +150,12 @@ def apply_load_factor(jobs: list[Job], load_factor: float) -> list[Job]:
 
 
 def drop_oversized(jobs: list[Job], n_nodes: int) -> list[Job]:
-    """Remove jobs larger than the machine (the paper's 16x16 adjustment)."""
+    """Remove jobs larger than the machine (the paper's 16x16 adjustment).
+
+    >>> [j.job_id for j in drop_oversized(
+    ...     [Job(0, 0.0, 4, 1.0), Job(1, 1.0, 600, 1.0)], n_nodes=352)]
+    [0]
+    """
     return [j for j in jobs if j.size <= n_nodes]
 
 

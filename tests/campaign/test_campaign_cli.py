@@ -122,6 +122,131 @@ class TestRunStatusReport:
         assert main(["run", str(campaign_file), "--cache-dir", cache_dir, "--jobs", "0"]) == 2
 
 
+class TestTierFlag:
+    def test_run_reports_tier_decision(self, campaign_file, cache_dir, capsys):
+        assert main(
+            ["run", str(campaign_file), "--cache-dir", cache_dir, "--quiet",
+             "--tier", "inline"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "[tier] inline" in out
+
+    def test_campaign_file_tier_is_honoured(self, tmp_path, cache_dir, capsys):
+        path = tmp_path / "tiered.toml"
+        path.write_text(CAMPAIGN.replace(
+            'name = "clitest"', 'name = "clitest"\ntier = "inline"'
+        ))
+        assert main(["run", str(path), "--cache-dir", cache_dir, "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "[tier] inline (inline: forced)" in out
+
+    def test_bad_file_tier_rejected(self, tmp_path, cache_dir, capsys):
+        path = tmp_path / "bad.toml"
+        path.write_text(CAMPAIGN.replace(
+            'name = "clitest"', 'name = "clitest"\ntier = "gpu"'
+        ))
+        assert main(["run", str(path), "--cache-dir", cache_dir]) == 2
+        assert "unknown [campaign] tier" in capsys.readouterr().err
+
+
+class TestReportExport:
+    def test_json_export_round_trips(self, campaign_file, cache_dir, capsys):
+        import json
+
+        main(["run", str(campaign_file), "--cache-dir", cache_dir, "--quiet"])
+        capsys.readouterr()
+        assert main(
+            ["report", str(campaign_file), "--cache-dir", cache_dir,
+             "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["campaign"] == "clitest"
+        assert payload["completed"] == 4 and payload["pending"] == 0
+        assert payload["axes"] == ["mesh", "pattern", "load", "allocator"]
+        assert len(payload["cells"]) == 4
+        cell = payload["cells"][0]
+        assert set(cell) == {"mesh", "pattern", "load", "allocator", "mean_response"}
+        assert isinstance(cell["mean_response"], float)
+
+    def test_csv_export_has_header_and_rows(self, campaign_file, cache_dir, capsys):
+        import csv
+        import io
+
+        main(["run", str(campaign_file), "--cache-dir", cache_dir, "--quiet"])
+        capsys.readouterr()
+        assert main(
+            ["report", str(campaign_file), "--cache-dir", cache_dir,
+             "--format", "csv", "--metric", "mean_wait"]
+        ) == 0
+        rows = list(csv.DictReader(io.StringIO(capsys.readouterr().out)))
+        assert len(rows) == 4
+        assert set(rows[0]) == {"mesh", "pattern", "load", "allocator", "mean_wait"}
+
+    def test_json_export_before_run_reports_pending(self, campaign_file, cache_dir, capsys):
+        import json
+
+        assert main(
+            ["report", str(campaign_file), "--cache-dir", cache_dir,
+             "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["completed"] == 0 and payload["pending"] == 4
+
+    def test_export_rejects_table_shaping_flags(self, campaign_file, cache_dir, capsys):
+        assert main(
+            ["report", str(campaign_file), "--cache-dir", cache_dir,
+             "--format", "csv", "--group-by", "mesh"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "--group-by" in err and "table format" in err
+
+
+class TestPrune:
+    def test_dry_run_then_prune_retires_artifacts_and_manifest(
+        self, campaign_file, cache_dir, capsys
+    ):
+        from pathlib import Path
+
+        main(["run", str(campaign_file), "--cache-dir", cache_dir, "--quiet"])
+        capsys.readouterr()
+        artifacts = list(Path(cache_dir).glob("*.json.gz"))
+        assert len(artifacts) == 4
+
+        assert main(
+            ["prune", str(campaign_file), "--cache-dir", cache_dir, "--dry-run"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "would remove 4 artifacts" in out
+        assert all(p.is_file() for p in artifacts)
+
+        assert main(["prune", str(campaign_file), "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "removed 4 artifacts" in out and "manifest" in out
+        assert not any(p.is_file() for p in artifacts)
+        assert list(Path(cache_dir).glob("campaigns/*.json")) == []
+
+    def test_prune_leaves_other_campaigns_alone(self, tmp_path, cache_dir, capsys):
+        from pathlib import Path
+
+        other = tmp_path / "other.toml"
+        other.write_text(
+            CAMPAIGN.replace('name = "clitest"', 'name = "other"').replace(
+                "load = [1.0, 0.5]", "load = [0.9]"
+            )
+        )
+        mine = tmp_path / "clitest.toml"
+        mine.write_text(CAMPAIGN)
+        main(["run", str(mine), "--cache-dir", cache_dir, "--quiet"])
+        main(["run", str(other), "--cache-dir", cache_dir, "--quiet"])
+        capsys.readouterr()
+        total = len(list(Path(cache_dir).glob("*.json.gz")))
+        assert total == 6  # 4 + 2
+
+        assert main(["prune", str(mine), "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert len(list(Path(cache_dir).glob("*.json.gz"))) == 2
+        assert len(list(Path(cache_dir).glob("campaigns/*.json"))) == 1
+
 class TestReportAxisDefaults:
     def test_group_by_load_slides_the_cols_default(self, campaign_file, cache_dir, capsys):
         main(["run", str(campaign_file), "--cache-dir", cache_dir, "--quiet"])

@@ -80,15 +80,27 @@ class TestResume:
         assert full.hits == 4
         assert full.misses == 2
         counts = full.manifest.counts([c.digest for c in full.expansion.cells])
+        # cache hits never overwrite a cell's original compute record, so
+        # every cell still counts as computed with its real elapsed
         assert counts == {
             "total": 6,
             "done": 6,
             "pending": 0,
-            "cached": 4,
-            "computed": 2,
+            "cached": 0,
+            "computed": 6,
             "compute_seconds": counts["compute_seconds"],
         }
         assert counts["compute_seconds"] > 0
+
+    def test_warm_rerun_preserves_compute_timings(self, tmp_path):
+        """Regression: a fully warm re-run must not erase the recorded
+        timings the auto tier calibrates with."""
+        cache = _cache(tmp_path)
+        run_campaign(loads_campaign(CAMPAIGN), cache=cache)
+        warm = run_campaign(loads_campaign(CAMPAIGN), cache=ResultCache(cache.root))
+        assert warm.hits == 6
+        mean = warm.manifest.mean_compute_seconds()
+        assert mean is not None and mean > 0
 
     def test_warm_rerun_is_all_hits(self, tmp_path):
         cache = _cache(tmp_path)

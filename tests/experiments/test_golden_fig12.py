@@ -70,7 +70,7 @@ def test_fig12_parallel_runs_match_serial_exactly():
         allocators=("hilbert", "hilbert+bf"),
     )
     serial = run_many(specs, jobs=1)
-    parallel = run_many(specs, jobs=2)
+    parallel = run_many(specs, jobs=2, tier="process")
     for a, b in zip(serial, parallel):
         assert a.spec == b.spec
         assert a.summary == b.summary

@@ -215,6 +215,27 @@ class TestPeek:
         assert (cache.hits, cache.misses) == (0, 0)
 
 
+class TestDeterministicArtifacts:
+    def test_artifact_bytes_are_content_pure(self, tmp_path):
+        """Same cell, two puts at different times -> identical bytes
+        (fixed gzip header, no volatile payload fields)."""
+        cell = run_cell(_spec())
+        a = ResultCache(tmp_path / "a").put(cell)
+        again = run_cell(_spec())
+        b = ResultCache(tmp_path / "b").put(again)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_volatile_elapsed_stays_out_of_the_payload(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        cell = run_cell(_spec())
+        assert cell.elapsed > 0.0
+        path = cache.put(cell)
+        assert "elapsed" not in read_artifact(path)
+        # legacy artifacts carrying one still surface it on load
+        hit = cache.get(_spec())
+        assert hit.elapsed == 0.0
+
+
 class TestPruneFilters:
     def _warm(self, tmp_path) -> ResultCache:
         cache = ResultCache(tmp_path / "c")
@@ -233,6 +254,27 @@ class TestPruneFilters:
 
         with pytest.raises(ValueError, match="prune needs"):
             self._warm(tmp_path).prune()
+
+    def test_keys_alone(self, tmp_path):
+        """The campaign-prune criterion: remove exactly the named keys."""
+        cache = self._warm(tmp_path)
+        keys = {cache.key_for(_spec()), cache.key_for(_spec(allocator="mc"))}
+        removed = cache.prune(keys=keys)
+        assert len(removed) == 2
+        assert {p.name.partition(".")[0] for p in removed} == keys
+        assert {c.spec.pattern for c in cache.iter_results()} == {"all-to-all"}
+
+    def test_keys_combine_with_spec_substr(self, tmp_path):
+        cache = self._warm(tmp_path)
+        keys = {cache.key_for(_spec()), cache.key_for(_spec(allocator="mc"))}
+        removed = cache.prune(keys=keys, spec_substr='"allocator":"mc"')
+        assert len(removed) == 1
+        assert len(cache) == 2
+
+    def test_keys_dry_run(self, tmp_path):
+        cache = self._warm(tmp_path)
+        removed = cache.prune(keys={cache.key_for(_spec())}, dry_run=True)
+        assert len(removed) == 1 and len(cache) == 3
 
     def test_prune_to_size_oldest_first(self, tmp_path):
         import os

@@ -63,12 +63,12 @@ class TestRunMany:
         """The tentpole determinism guarantee: jobs=4 == serial, cell for
         cell, for the same seeds."""
         serial = run_many(GRID, jobs=1)
-        parallel = run_many(GRID, jobs=4)
+        parallel = run_many(GRID, jobs=4, tier="process")
         assert [c.summary for c in parallel] == [c.summary for c in serial]
         assert [c.jobs for c in parallel] == [c.jobs for c in serial]
 
     def test_result_order_matches_spec_order(self):
-        cells = run_many(GRID, jobs=4)
+        cells = run_many(GRID, jobs=4, tier="process")
         assert [c.spec for c in cells] == GRID
 
     def test_second_run_is_pure_cache_no_recompute(self, tmp_path, monkeypatch):
@@ -101,7 +101,7 @@ class TestRunMany:
 
     def test_cache_survives_parallel_run(self, tmp_path):
         cache = ResultCache(tmp_path / "c")
-        run_many(GRID, jobs=3, cache=cache)
+        run_many(GRID, jobs=3, cache=cache, tier="process")
         assert len(cache) == len(GRID)
         warm = ResultCache(tmp_path / "c")
         again = run_many(GRID, jobs=3, cache=warm)
@@ -133,7 +133,9 @@ class TestTraceInterning:
     def test_parallel_workers_hydrate_from_store(self, tmp_path):
         cache = ResultCache(tmp_path / "c")
         serial = run_many(self._grid(), cache=cache)
-        parallel = run_many(self._grid(), jobs=3, cache=ResultCache(tmp_path / "c2"))
+        parallel = run_many(
+            self._grid(), jobs=3, cache=ResultCache(tmp_path / "c2"), tier="process"
+        )
         assert [c.summary for c in parallel] == [c.summary for c in serial]
         assert [c.jobs for c in parallel] == [c.jobs for c in serial]
 
@@ -153,7 +155,7 @@ class TestTraceInterning:
             (8, 8), ("ring",), (1.0, 0.5), ("mc", "hilbert+bf"),
             seed=3, trace_ref=digest,
         )
-        ref_cells = run_many(ref_grid, jobs=2, cache=cache)
+        ref_cells = run_many(ref_grid, jobs=2, cache=cache, tier="process")
         inline_cells = run_many(self._grid())
         assert [c.summary for c in ref_cells] == [c.summary for c in inline_cells]
 
@@ -163,7 +165,7 @@ class TestSweepDeterminism:
         mesh = Mesh2D(8, 8)
         kwargs = dict(patterns=("all-to-all",), allocators=("hilbert+bf", "mc1x1"))
         serial = run_sweep(mesh, TINY, **kwargs)
-        parallel = run_sweep(mesh, TINY, jobs=4, **kwargs)
+        parallel = run_sweep(mesh, TINY, jobs=4, tier="process", **kwargs)
         assert [r.cells for r in parallel] == [r.cells for r in serial]
 
     def test_build_sweep_specs_cell_order(self):

@@ -1,0 +1,112 @@
+"""Tests for the packed-column trace segment (repro.trace.segment)."""
+
+import pytest
+
+from repro.trace.segment import SegmentBackedStore, TraceSegment, write_segment
+from repro.trace.store import TraceStore, canonical_trace, trace_digest
+
+TRACE_A = tuple((i, 13.5 * i, 2 ** (i % 5), 7.25 * (i + 1)) for i in range(40))
+TRACE_B = ((0, 0.0, 1, 10.0), (1, 2.5, 352, 0.125))
+
+
+def _write(path, traces):
+    write_segment(path, {trace_digest(t): t for t in traces})
+    return {trace_digest(t): t for t in traces}
+
+
+class TestRoundTrip:
+    def test_traces_round_trip_tuple_identical(self, tmp_path):
+        path = tmp_path / "seg.bin"
+        expected = _write(path, [TRACE_A, TRACE_B])
+        seg = TraceSegment(path)
+        try:
+            assert seg.digests() == sorted(expected)
+            for digest, rows in expected.items():
+                assert seg.get(digest) == canonical_trace(rows)
+                assert digest in seg
+        finally:
+            seg.close()
+
+    def test_segment_matches_store_hydration(self, tmp_path):
+        """The determinism lynchpin: segment and store hydrate the same
+        digest to the same tuples, so specs resolve identically."""
+        store = TraceStore(tmp_path / "traces")
+        digest = store.put(TRACE_A)
+        path = tmp_path / "seg.bin"
+        write_segment(path, {digest: store.get(digest)})
+        seg = TraceSegment(path)
+        try:
+            assert seg.get(digest) == store.get(digest)
+        finally:
+            seg.close()
+
+    def test_empty_trace_round_trips(self, tmp_path):
+        path = tmp_path / "seg.bin"
+        digest = trace_digest(())
+        write_segment(path, {digest: ()})
+        seg = TraceSegment(path)
+        try:
+            assert seg.get(digest) == ()
+        finally:
+            seg.close()
+
+    def test_get_is_memoised(self, tmp_path):
+        path = tmp_path / "seg.bin"
+        (digest,) = _write(path, [TRACE_A])
+        seg = TraceSegment(path)
+        try:
+            first = seg.get(digest)
+            assert seg.get(digest) is first
+        finally:
+            seg.close()
+
+
+class TestErrors:
+    def test_missing_digest_raises_keyerror(self, tmp_path):
+        path = tmp_path / "seg.bin"
+        _write(path, [TRACE_A])
+        seg = TraceSegment(path)
+        try:
+            with pytest.raises(KeyError, match="not in segment"):
+                seg.get("0" * 64)
+        finally:
+            seg.close()
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "seg.bin"
+        path.write_bytes(b"NOT-A-SEGMENT-FILE")
+        with pytest.raises(ValueError, match="bad magic"):
+            TraceSegment(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "seg.bin"
+        path.write_bytes(b"")
+        with pytest.raises(ValueError, match="empty"):
+            TraceSegment(path)
+
+
+class TestSegmentBackedStore:
+    def test_prefers_segment_then_falls_back(self, tmp_path):
+        store = TraceStore(tmp_path / "traces")
+        store_only = store.put(TRACE_B)
+        path = tmp_path / "seg.bin"
+        (seg_digest,) = _write(path, [TRACE_A])
+        seg = TraceSegment(path)
+        try:
+            backed = SegmentBackedStore(seg, fallback=store)
+            assert backed.get(seg_digest) == canonical_trace(TRACE_A)
+            assert backed.get(store_only) == canonical_trace(TRACE_B)
+            assert seg_digest in backed and store_only in backed
+        finally:
+            seg.close()
+
+    def test_no_fallback_raises(self, tmp_path):
+        path = tmp_path / "seg.bin"
+        _write(path, [TRACE_A])
+        seg = TraceSegment(path)
+        try:
+            backed = SegmentBackedStore(seg, fallback=None)
+            with pytest.raises(KeyError, match="neither segment"):
+                backed.get("f" * 64)
+        finally:
+            seg.close()
