@@ -1,0 +1,102 @@
+"""Bench: vectorised simulation core vs the frozen per-event loop engine.
+
+One experiment *cell* is a full fig07-style simulation on the paper's
+16x22 grid: the synthetic SDSC Paragon trace, all-to-all communication,
+Hilbert + Best Fit allocation.  Both engines run the same cells and must
+produce bit-identical :class:`JobResult` lists -- the speedup claim is
+only meaningful if the fast engine is exactly the slow one.
+
+Two regimes are pinned:
+
+* ``large-job slice`` (sizes >= 128): per-start work dominates, which is
+  where the loop engine's O(p^2)-pair routing and BFS component walk were
+  quadratic and the closed forms win.  The vectorised core must stay
+  >= 10x cells/second here (the PR's headline acceptance gate); CI fails
+  on regression below that.
+* ``mixed trace``: the standard small fig07 workload, where both engines
+  spend most of their time in the shared rate fixed point, so the
+  structural ceiling is low.  A >= 1.5x floor guards the event-loop and
+  bookkeeping gains without over-claiming.
+"""
+
+import time
+
+from repro.core.registry import make_allocator
+from repro.mesh.topology import Mesh2D
+from repro.patterns.base import get_pattern
+from repro.sched.job import Job
+from repro.sched.simulator import Simulation
+from repro.trace.synthetic import sdsc_paragon_trace
+
+MESH_SHAPE = (16, 22)
+SEED = 5
+
+
+def _renumber(jobs):
+    return [Job(i, j.arrival, j.size, j.runtime) for i, j in enumerate(jobs)]
+
+
+def _large_job_slice():
+    """Sizes >= 128 from the synthetic trace: the routing-bound regime."""
+    trace = sdsc_paragon_trace(seed=SEED, n_jobs=2000, runtime_scale=0.02)
+    return _renumber([j for j in trace if 128 <= j.size <= 352])
+
+
+def _mixed_trace():
+    """The standard small fig07 workload (all sizes, light load)."""
+    return _renumber(sdsc_paragon_trace(seed=SEED, n_jobs=400, runtime_scale=0.01))
+
+
+def _run_cell(engine, jobs):
+    sim = Simulation(
+        Mesh2D(*MESH_SHAPE),
+        make_allocator("hilbert+bf"),
+        get_pattern("all-to-all"),
+        jobs,
+        seed=SEED,
+        engine=engine,
+    )
+    return sim.run()
+
+
+def _time_cell(engine, jobs, repeats):
+    """Best-of-``repeats`` wall time for one cell; returns (time, result)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = _run_cell(engine, jobs)
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def _pin_speedup(benchmark, jobs, floor, label):
+    t_vector, r_vector = _time_cell("vector", jobs, repeats=3)
+    t_loop, r_loop = _time_cell("loop", jobs, repeats=2)
+    # Determinism gate: the engines must agree bit-for-bit before any
+    # throughput comparison means anything.
+    assert r_vector.jobs == r_loop.jobs
+    assert r_vector.makespan == r_loop.makespan
+    speedup = t_loop / t_vector
+    benchmark.extra_info["cells_per_second_vector"] = round(1.0 / t_vector, 2)
+    benchmark.extra_info["cells_per_second_loop"] = round(1.0 / t_loop, 2)
+    benchmark.extra_info["speedup"] = round(speedup, 1)
+    print(
+        f"\n[{label}] vector {1.0 / t_vector:.1f} cells/s, "
+        f"loop {1.0 / t_loop:.1f} cells/s, speedup {speedup:.1f}x "
+        f"(floor {floor}x)"
+    )
+    assert speedup >= floor, (
+        f"{label}: vector engine only {speedup:.1f}x the loop engine "
+        f"(regression floor {floor}x)"
+    )
+    # One timed round for the pytest-benchmark table.
+    benchmark.pedantic(_run_cell, args=("vector", jobs), rounds=1, iterations=1)
+
+
+def test_large_job_cells_per_second(benchmark):
+    _pin_speedup(benchmark, _large_job_slice(), floor=10.0, label="large-job slice")
+
+
+def test_mixed_trace_cells_per_second(benchmark):
+    _pin_speedup(benchmark, _mixed_trace(), floor=1.5, label="mixed trace")

@@ -84,26 +84,38 @@ def select_min_span(free_ranks: np.ndarray, need: int) -> np.ndarray:
     return free_ranks[i : i + need]
 
 
+def _run_bounds(free_ranks: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Array form of :func:`free_runs`: ``(start_indices, lengths)``."""
+    m = len(free_ranks)
+    if m == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    breaks = np.flatnonzero(np.diff(free_ranks) != 1)
+    starts = np.concatenate(([0], breaks + 1))
+    ends = np.concatenate((breaks + 1, [m]))
+    return starts, ends - starts
+
+
 def select_first_fit(free_ranks: np.ndarray, need: int) -> np.ndarray:
     """First (lowest-rank) bin large enough; min-span fallback."""
-    for start, length in free_runs(free_ranks):
-        if length >= need:
-            return free_ranks[start : start + need]
-    return select_min_span(free_ranks, need)
+    starts, lengths = _run_bounds(free_ranks)
+    fits = lengths >= need
+    if not fits.any():
+        return select_min_span(free_ranks, need)
+    start = int(starts[np.argmax(fits)])
+    return free_ranks[start : start + need]
 
 
 def select_best_fit(free_ranks: np.ndarray, need: int) -> np.ndarray:
     """Bin leaving the fewest processors over; earliest on ties."""
-    best: tuple[int, int] | None = None
-    best_left = None
-    for start, length in free_runs(free_ranks):
-        if length >= need:
-            left = length - need
-            if best_left is None or left < best_left:
-                best, best_left = (start, length), left
-    if best is None:
+    starts, lengths = _run_bounds(free_ranks)
+    fits = lengths >= need
+    if not fits.any():
         return select_min_span(free_ranks, need)
-    return free_ranks[best[0] : best[0] + need]
+    # argmin returns the first minimum, preserving the earliest-run tie rule.
+    leftover = np.where(fits, lengths - need, np.iinfo(np.int64).max)
+    start = int(starts[np.argmin(leftover)])
+    return free_ranks[start : start + need]
 
 
 def select_sum_of_squares(free_ranks: np.ndarray, need: int) -> np.ndarray:

@@ -96,13 +96,17 @@ class Machine:
         Raises :class:`AllocationError` if any node is already busy or if
         ``nodes`` contains duplicates.
         """
-        nodes = np.asarray(list(nodes), dtype=np.int64)
+        if not isinstance(nodes, np.ndarray):
+            nodes = list(nodes)
+        nodes = np.asarray(nodes, dtype=np.int64)
         if nodes.size == 0:
             return
         if np.any(nodes < 0) or np.any(nodes >= self.mesh.n_nodes):
             raise AllocationError("node id out of range")
-        if len(np.unique(nodes)) != len(nodes):
-            raise AllocationError("duplicate nodes in allocation")
+        if nodes.size > 1:
+            ordered = np.sort(nodes)
+            if np.any(ordered[1:] == ordered[:-1]):
+                raise AllocationError("duplicate nodes in allocation")
         if not np.all(self._free[nodes]):
             taken = nodes[~self._free[nodes]]
             raise AllocationError(f"nodes already allocated: {taken.tolist()}")
@@ -114,7 +118,9 @@ class Machine:
 
         Raises :class:`AllocationError` if any node is already free.
         """
-        nodes = np.asarray(list(nodes), dtype=np.int64)
+        if not isinstance(nodes, np.ndarray):
+            nodes = list(nodes)
+        nodes = np.asarray(nodes, dtype=np.int64)
         if nodes.size == 0:
             return
         if np.any(nodes < 0) or np.any(nodes >= self.mesh.n_nodes):

@@ -223,7 +223,29 @@ class FluidNetwork:
     removes it at completion (:meth:`remove_flow`); :meth:`rates` returns the
     current messages/sec of every active job under the model described in
     the module docstring.
+
+    State layout (the vectorised-core refactor): the first ``n_flows`` rows
+    of a preallocated, geometrically grown ``(J_max, L)`` matrix hold the
+    active flows' load vectors, with per-row caches of the derived
+    quantities ``rates`` needs (hop shares, idle per-message time, the
+    path-holding coefficient).  ``remove_flow`` compacts by shifting the
+    rows above the hole down one slot rather than swapping the last row in:
+    a swap would permute rows, and row order is what fixes the floating
+    point reduction order of ``max_min_rates``'s column sums -- order-
+    preserving compaction keeps every array op bit-identical to restacking
+    the flow dict from scratch.  A per-link running column sum, updated by
+    difference on add/remove, powers an uncongested fast path: when every
+    flow could issue at its cap without filling any link (with a wide
+    conservative margin, so drift in the running sum can never flip the
+    decision), the water-filling solve is skipped because its result is
+    exactly the cap vector.
     """
+
+    #: Uncongested fast-path margin on link capacity.  max_min_rates
+    #: returns exactly ``caps`` whenever ``issue_rate * colsum <= capacity``
+    #: holds per link; requiring a 1/8 slack keeps the incremental column
+    #: sum's accumulated rounding (ulps) from ever flipping the test.
+    _GATE_MARGIN = 0.875
 
     def __init__(self, mesh: Mesh2D | Mesh3D, params: NetworkParams | None = None):
         self.mesh = mesh
@@ -233,17 +255,25 @@ class FluidNetwork:
         if not np.isfinite(cap):
             cap = 1e12  # latency-free configuration: feasibility never binds
         self.capacities = np.full(self.space.n_links, cap, dtype=np.float64)
-        self._flows: dict[int, np.ndarray] = {}
-        self._hops: dict[int, float] = {}
+        n_links = self.space.n_links
+        self._n = 0
+        self._ids: list[int] = []
+        self._row_of: dict[int, int] = {}
+        self._weights = np.empty((0, n_links), dtype=np.float64)
+        self._hop_shares = np.empty((0, n_links), dtype=np.float64)
+        self._idle_t = np.empty(0, dtype=np.float64)
+        self._hold = np.empty(0, dtype=np.float64)
+        self._colsum = np.zeros(n_links, dtype=np.float64)
+        self._gate_cap = self._GATE_MARGIN * self.capacities / self.params.issue_rate
 
     @property
     def n_flows(self) -> int:
         """Number of active flows."""
-        return len(self._flows)
+        return self._n
 
     def flow_ids(self) -> list[int]:
         """Ids of active flows, insertion-ordered."""
-        return list(self._flows.keys())
+        return list(self._ids)
 
     def issue_cap(self, mean_hops: float) -> float:
         """Uncontended rate for a job with the given mean message distance
@@ -251,22 +281,103 @@ class FluidNetwork:
         p = self.params
         return 1.0 / (1.0 / p.issue_rate + p.hop_latency * max(mean_hops, 0.0))
 
+    def _grow(self, min_rows: int) -> None:
+        rows = max(16, 2 * self._weights.shape[0])
+        while rows < min_rows:
+            rows *= 2
+        n_links = self.space.n_links
+        for name in ("_weights", "_hop_shares"):
+            new = np.empty((rows, n_links), dtype=np.float64)
+            new[: self._n] = getattr(self, name)[: self._n]
+            setattr(self, name, new)
+        for name in ("_idle_t", "_hold"):
+            new = np.empty(rows, dtype=np.float64)
+            new[: self._n] = getattr(self, name)[: self._n]
+            setattr(self, name, new)
+
     def add_flow(self, flow_id: int, load_vector: np.ndarray, mean_hops: float) -> None:
         """Register an active job's per-link flit load (per message sent)."""
-        if flow_id in self._flows:
+        if flow_id in self._row_of:
             raise ValueError(f"flow {flow_id} already active")
         load_vector = np.asarray(load_vector, dtype=np.float64)
         if load_vector.shape != (self.space.n_links,):
             raise ValueError("load vector has wrong length for this mesh")
-        self._flows[flow_id] = load_vector
-        self._hops[flow_id] = float(mean_hops)
+        p = self.params
+        row = self._n
+        if row == self._weights.shape[0]:
+            self._grow(row + 1)
+        self._weights[row] = load_vector
+        hop_shares = load_vector / p.message_flits
+        self._hop_shares[row] = hop_shares
+        # Row-local derived values: summing the single contiguous row uses
+        # the same pairwise reduction an axis-1 sum of the stacked matrix
+        # would, so caching at add time changes no bits.
+        self._idle_t[row] = 1.0 / p.issue_rate + p.hop_latency * hop_shares.sum()
+        self._hold[row] = p.contention_factor * p.hop_latency * float(mean_hops)
+        self._colsum += load_vector
+        self._ids.append(flow_id)
+        self._row_of[flow_id] = row
+        self._n = row + 1
 
     def remove_flow(self, flow_id: int) -> None:
-        """Deregister a completed job."""
-        if flow_id not in self._flows:
+        """Deregister a completed job (order-preserving row compaction)."""
+        row = self._row_of.pop(flow_id, None)
+        if row is None:
             raise ValueError(f"flow {flow_id} not active")
-        del self._flows[flow_id]
-        del self._hops[flow_id]
+        n = self._n
+        self._colsum -= self._weights[row]
+        if row != n - 1:
+            self._weights[row : n - 1] = self._weights[row + 1 : n]
+            self._hop_shares[row : n - 1] = self._hop_shares[row + 1 : n]
+            self._idle_t[row : n - 1] = self._idle_t[row + 1 : n]
+            self._hold[row : n - 1] = self._hold[row + 1 : n]
+        del self._ids[row]
+        for i in range(row, n - 1):
+            self._row_of[self._ids[i]] = i
+        self._n = n - 1
+        if self._n == 0:
+            # Idle network: reset the running sum so float drift from the
+            # +=/-= updates can never accumulate across the whole trace.
+            self._colsum[:] = 0.0
+
+    def rates_vector(self) -> np.ndarray:
+        """Message rates aligned with :meth:`flow_ids` (row order).
+
+        Same fixed point as :meth:`rates`, returned as a dense vector for
+        the simulator's array-based event loop.
+        """
+        n = self._n
+        if n == 0:
+            return np.empty(0, dtype=np.float64)
+        p = self.params
+        weights = self._weights[:n]
+        hop_shares = self._hop_shares[:n]
+        issue = 1.0 / p.issue_rate
+        caps = np.full(n, p.issue_rate)
+
+        if (self._colsum <= self._gate_cap).all():
+            # No link can fill even at full issue rate: progressive filling
+            # caps every flow immediately, so its output is exactly `caps`.
+            feasible = caps
+        else:
+            feasible = max_min_rates(weights, self.capacities, caps)
+        r = np.minimum(feasible, 1.0 / self._idle_t[:n])
+        if p.contention_factor == 0 or p.hop_latency == 0:
+            return r
+        # Path-holding utilisation couples rates and latencies; relax the
+        # fixed point under 0.5 damping (deterministic iteration count).
+        hold = self._hold[:n]
+        hop_latency = p.hop_latency
+        max_util = p.max_utilisation
+        # np.minimum/np.maximum spell out np.clip's own definition; the
+        # floats are identical but the fromnumeric wrapper overhead is not,
+        # and this loop runs six times per rate refresh.
+        for _ in range(p.fixed_point_iterations):
+            rho = np.minimum(np.maximum((r * hold) @ hop_shares, 0.0), max_util)
+            stretch = 1.0 / (1.0 - rho)
+            t = issue + hop_latency * (hop_shares @ stretch)
+            r = 0.5 * r + 0.5 * np.minimum(feasible, 1.0 / t)
+        return r
 
     def rates(self) -> dict[int, float]:
         """Message rate (messages/sec) of each active flow.
@@ -275,39 +386,17 @@ class FluidNetwork:
         rates start at the idle-network bound, utilisations are computed,
         congestion stretches per-hop latency, and the two relax together
         under 0.5 damping for a fixed iteration count (deterministic).
+        Dict-shim over :meth:`rates_vector` (insertion-ordered ids).
         """
-        if not self._flows:
+        if self._n == 0:
             return {}
-        p = self.params
-        ids = list(self._flows.keys())
-        weights = np.stack([self._flows[i] for i in ids])
-        mean_hops = np.array([self._hops[i] for i in ids])
-        issue = 1.0 / p.issue_rate
-        caps = np.full(len(ids), p.issue_rate)
-
-        feasible = max_min_rates(weights, self.capacities, caps)
-        hop_shares = weights / p.message_flits  # traversals of l per message
-        idle_t = issue + p.hop_latency * hop_shares.sum(axis=1)
-        r = np.minimum(feasible, 1.0 / idle_t)
-        if p.contention_factor == 0 or p.hop_latency == 0:
-            return dict(zip(ids, r.tolist()))
-        # Path-holding utilisation couples rates and latencies; relax the
-        # fixed point under 0.5 damping (deterministic iteration count).
-        hold = p.contention_factor * p.hop_latency * mean_hops
-        for _ in range(p.fixed_point_iterations):
-            rho = np.clip(
-                (r * hold) @ hop_shares, 0.0, p.max_utilisation
-            )
-            stretch = 1.0 / (1.0 - rho)
-            t = issue + p.hop_latency * (hop_shares @ stretch)
-            r = 0.5 * r + 0.5 * np.minimum(feasible, 1.0 / t)
-        return dict(zip(ids, r.tolist()))
+        return dict(zip(self._ids, self.rates_vector().tolist()))
 
     def link_utilisation(self, rates: dict[int, float] | None = None) -> np.ndarray:
         """Fraction of each link's capacity consumed under ``rates``."""
         if rates is None:
             rates = self.rates()
         flow = np.zeros(self.space.n_links, dtype=np.float64)
-        for fid, vec in self._flows.items():
-            flow += rates.get(fid, 0.0) * vec
+        for i, fid in enumerate(self._ids):
+            flow += rates.get(fid, 0.0) * self._weights[i]
         return flow / self.capacities

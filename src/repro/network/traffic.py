@@ -14,10 +14,19 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.metrics import total_pairwise_hops
 from repro.mesh.topology import Mesh2D, Mesh3D
 from repro.network.links import LinkSpace
 
-__all__ = ["pairs_to_nodes", "build_load_vector", "mean_message_hops", "total_message_hops"]
+__all__ = [
+    "pairs_to_nodes",
+    "build_load_vector",
+    "mean_message_hops",
+    "total_message_hops",
+    "all_pairs_load_vector",
+    "all_pairs_mean_hops",
+    "pattern_flow_profile",
+]
 
 
 def pairs_to_nodes(
@@ -86,3 +95,119 @@ def total_message_hops(mesh: Mesh2D | Mesh3D, nodes: np.ndarray, pairs: np.ndarr
     if src.size == 0:
         return 0
     return int(np.sum(mesh.manhattan(src, dst)))
+
+
+def all_pairs_load_vector(
+    mesh: Mesh2D | Mesh3D, nodes: np.ndarray, message_flits: float = 1.0
+) -> np.ndarray:
+    """Closed-form :func:`build_load_vector` for the all-ordered-pairs cycle.
+
+    For dimension-ordered routing on a (non-torus) mesh, the messages of
+    the all-to-all cycle crossing a directed link factorise: the positive
+    link of axis ``k`` at column ``c`` and row ``r`` is crossed by exactly
+
+        #{src: src_j = r_j for j > k, src_k <= c}
+        x #{dst: dst_j = r_j for j < k, dst_k > c}
+
+    ordered pairs (axes above ``k`` still sit at the source coordinate,
+    axes below are already corrected to the destination's).  Both factors
+    are cumulative sums of the allocation's marginal censuses, so the whole
+    load vector costs O(nodes + links) instead of routing ``p * (p - 1)``
+    messages.  The crossing counts are exact integers, which is what makes
+    this bit-identical to the generic accumulation.
+
+    Tori take the shorter way around per pair, which breaks the
+    factorisation; callers must use the generic path there.
+    """
+    if mesh.torus:
+        raise ValueError("all_pairs_load_vector requires a non-torus mesh")
+    space = LinkSpace.for_mesh(mesh)
+    nodes = np.asarray(nodes, dtype=np.int64)
+    p = len(nodes)
+    loads = np.zeros(space.n_links, dtype=np.float64)
+    if p < 2:
+        return loads
+    grid = np.zeros(mesh.n_nodes, dtype=np.int64)
+    grid[nodes] = 1
+    # C-order grid dims are reversed coordinate axes (x fastest), matching
+    # the within-block ravel order of LinkSpace.
+    grid = grid.reshape(tuple(reversed(mesh.shape)))
+    n_dims = space.n_dims
+    for axis in range(n_dims):
+        cols = space.axis_cols[axis]
+        if cols == 0:
+            continue
+        dim = n_dims - 1 - axis
+        high_dims = tuple(range(dim))  # coordinate axes > axis
+        low_dims = tuple(range(dim + 1, n_dims))  # coordinate axes < axis
+        src_census = grid.sum(axis=low_dims) if low_dims else grid
+        dst_census = grid.sum(axis=high_dims) if high_dims else grid
+        src_le = np.cumsum(src_census, axis=-1)  # sources with s_k <= c
+        dst_le = np.cumsum(dst_census, axis=0)  # destinations with d_k <= c
+        src_tot = src_le[..., -1:]
+        dst_tot = dst_le[-1:]
+        high_shape = src_le.shape[:-1]
+        low_shape = dst_le.shape[1:]
+        a_shape = high_shape + (cols,) + (1,) * len(low_shape)
+        b_shape = (1,) * len(high_shape) + (cols,) + low_shape
+        pos = src_le[..., :cols].reshape(a_shape) * (
+            (dst_tot - dst_le)[:cols].reshape(b_shape)
+        )
+        neg = (src_tot - src_le)[..., :cols].reshape(a_shape) * (
+            dst_le[:cols].reshape(b_shape)
+        )
+        off_pos, off_neg = space.axis_offsets[axis]
+        block = space.axis_block[axis]
+        loads[off_pos : off_pos + block] = pos.reshape(-1)
+        loads[off_neg : off_neg + block] = neg.reshape(-1)
+    loads *= message_flits
+    loads /= p * (p - 1)
+    return loads
+
+
+def all_pairs_mean_hops(mesh: Mesh2D | Mesh3D, nodes: np.ndarray) -> float:
+    """Mean Manhattan hops over the all-ordered-pairs cycle.
+
+    Identical to ``mean_message_hops`` on the materialised cycle: the hop
+    total is an exact integer, so ``2 * total / (p * (p - 1))`` performs
+    the same IEEE division ``np.mean`` would.
+    """
+    nodes = np.asarray(nodes, dtype=np.int64)
+    p = len(nodes)
+    if p < 2:
+        return 0.0
+    return float(2 * total_pairwise_hops(mesh, nodes)) / (p * (p - 1))
+
+
+def pattern_flow_profile(
+    mesh: Mesh2D | Mesh3D,
+    pattern,
+    nodes: np.ndarray,
+    message_flits: float = 1.0,
+    rng: np.random.Generator | None = None,
+) -> tuple[np.ndarray, float, int]:
+    """``(load_vector, mean_hops, cycle_length)`` of one job's traffic.
+
+    The simulator's per-start entry point: uniform all-pairs patterns on
+    plain meshes take the closed-form census path, other deterministic
+    patterns reuse one cached cycle per job size, and stochastic patterns
+    draw a fresh cycle from ``rng``.  All three paths are bit-identical to
+    building the cycle and accumulating its routes message by message.
+    """
+    p = len(nodes)
+    if getattr(pattern, "uniform_all_pairs", False) and not mesh.torus:
+        if p < 2:
+            space = LinkSpace.for_mesh(mesh)
+            return np.zeros(space.n_links, dtype=np.float64), 0.0, 0
+        return (
+            all_pairs_load_vector(mesh, nodes, message_flits),
+            all_pairs_mean_hops(mesh, nodes),
+            p * (p - 1),
+        )
+    if getattr(pattern, "deterministic_cycle", False):
+        pairs = pattern.cached_cycle(p)
+    else:
+        pairs = pattern.cycle(p, rng)
+    load = build_load_vector(mesh, nodes, pairs, message_flits)
+    hops = mean_message_hops(mesh, nodes, pairs)
+    return load, hops, len(pairs)

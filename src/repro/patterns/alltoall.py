@@ -11,6 +11,10 @@ per round -- the contention structure of a well-implemented all-to-all.
 :class:`AllToAllBroadcast` is the same pair set but grouped one *broadcast*
 per round (rank ``k`` sends to everyone in round ``k``); it reproduces the
 "all-to-all broadcast" component of the Cplant test suite behind Fig 1.
+
+Both cycles are built as single closed-form array constructions (no
+per-round Python loop); ``rounds`` just reshapes the cycle, since every
+round has the same length.
 """
 
 from __future__ import annotations
@@ -27,14 +31,22 @@ class AllToAll(Pattern):
     """Every ordered pair communicates once per cycle."""
 
     name = "all-to-all"
+    deterministic_cycle = True
+    uniform_all_pairs = True
 
     def cycle(self, p: int, rng: np.random.Generator | None = None) -> np.ndarray:
         self._check_size(p)
         if p == 1:
             return self.empty()
-        # Cycle in round order so a partial cycle is still balanced.
-        rounds = self.rounds(p)
-        return np.concatenate(rounds, axis=0)
+        # Cycle in round order so a partial cycle is still balanced:
+        # round k (k = 1..p-1) pairs rank i with (i + k) mod p.
+        src = np.arange(p, dtype=np.int64)
+        shift = np.arange(1, p, dtype=np.int64)
+        dst = (src[None, :] + shift[:, None]) % p
+        pairs = np.empty((p - 1, p, 2), dtype=np.int64)
+        pairs[:, :, 0] = src
+        pairs[:, :, 1] = dst
+        return pairs.reshape(-1, 2)
 
     def rounds(
         self, p: int, rng: np.random.Generator | None = None
@@ -42,12 +54,7 @@ class AllToAll(Pattern):
         self._check_size(p)
         if p == 1:
             return []
-        src = np.arange(p, dtype=np.int64)
-        out = []
-        for k in range(1, p):
-            dst = (src + k) % p
-            out.append(np.stack([src, dst], axis=1))
-        return out
+        return list(self.cycle(p).reshape(p - 1, p, 2))
 
     def messages_per_cycle(self, p: int) -> int:
         return p * (p - 1) if p > 1 else 0
@@ -58,12 +65,21 @@ class AllToAllBroadcast(Pattern):
     """All-to-all grouped as one root-broadcast per round (test-suite form)."""
 
     name = "all-to-all-broadcast"
+    deterministic_cycle = True
+    uniform_all_pairs = True
 
     def cycle(self, p: int, rng: np.random.Generator | None = None) -> np.ndarray:
         self._check_size(p)
         if p == 1:
             return self.empty()
-        return np.concatenate(self.rounds(p), axis=0)
+        # Round r: root r sends to the other ranks in ascending order;
+        # skipping the root shifts later columns up by one.
+        root = np.arange(p, dtype=np.int64)[:, None]
+        col = np.arange(p - 1, dtype=np.int64)[None, :]
+        pairs = np.empty((p, p - 1, 2), dtype=np.int64)
+        pairs[:, :, 0] = root
+        pairs[:, :, 1] = col + (col >= root)
+        return pairs.reshape(-1, 2)
 
     def rounds(
         self, p: int, rng: np.random.Generator | None = None
@@ -71,13 +87,7 @@ class AllToAllBroadcast(Pattern):
         self._check_size(p)
         if p == 1:
             return []
-        others = np.arange(p, dtype=np.int64)
-        out = []
-        for root in range(p):
-            dst = others[others != root]
-            src = np.full(p - 1, root, dtype=np.int64)
-            out.append(np.stack([src, dst], axis=1))
-        return out
+        return list(self.cycle(p).reshape(p, p - 1, 2))
 
     def messages_per_cycle(self, p: int) -> int:
         return p * (p - 1) if p > 1 else 0

@@ -27,6 +27,17 @@ class Pattern(ABC):
     #: Registry key and display name, set by subclasses.
     name: str = "abstract"
 
+    #: True when ``cycle(p)`` depends on ``p`` alone (no rng).  The
+    #: simulator skips per-job rng construction for such patterns and may
+    #: reuse one cached cycle per size via :meth:`cached_cycle`.
+    deterministic_cycle: bool = False
+
+    #: True when one cycle is exactly the set of all ordered rank pairs
+    #: (all-to-all and its broadcast grouping).  The fluid engine then
+    #: builds the per-link load profile in closed form without
+    #: materialising the ``p * (p - 1)`` pair array at all.
+    uniform_all_pairs: bool = False
+
     @abstractmethod
     def cycle(self, p: int, rng: np.random.Generator | None = None) -> np.ndarray:
         """One full cycle of rank-level (src, dst) pairs, shape ``(m, 2)``.
@@ -50,6 +61,25 @@ class Pattern(ABC):
     def messages_per_cycle(self, p: int) -> int:
         """Cycle length for deterministic patterns (used for quota math)."""
         return len(self.cycle(p))
+
+    def cached_cycle(self, p: int) -> np.ndarray:
+        """Memoised, read-only ``cycle(p)`` for deterministic patterns.
+
+        One job-size cycle is shared across every job of that size, so the
+        returned array is marked non-writeable; stochastic patterns must
+        keep going through :meth:`cycle`.
+        """
+        if not self.deterministic_cycle:
+            raise ValueError(
+                f"pattern {self.name!r} is stochastic; cycles cannot be cached"
+            )
+        cache = self.__dict__.setdefault("_cycle_cache", {})
+        pairs = cache.get(p)
+        if pairs is None:
+            pairs = self.cycle(p)
+            pairs.setflags(write=False)
+            cache[p] = pairs
+        return pairs
 
     @staticmethod
     def _check_size(p: int) -> None:

@@ -36,6 +36,7 @@ class CplantTestSuite(Pattern):
     """
 
     name = "cplant-test-suite"
+    deterministic_cycle = True
 
     def __init__(self, repetitions: int = 100):
         if repetitions < 1:

@@ -26,12 +26,17 @@ class NBody(Pattern):
     """Ring subphases plus one chordal subphase per cycle."""
 
     name = "n-body"
+    deterministic_cycle = True
 
     def cycle(self, p: int, rng: np.random.Generator | None = None) -> np.ndarray:
         self._check_size(p)
         if p == 1:
             return self.empty()
-        return np.concatenate(self.rounds(p), axis=0)
+        # floor(p/2) ring subphases tiled in one shot, then the chord.
+        src = np.arange(p, dtype=np.int64)
+        ring = np.stack([src, (src + 1) % p], axis=1)
+        chord = np.stack([src, (src + p // 2) % p], axis=1)
+        return np.concatenate([np.tile(ring, (p // 2, 1)), chord], axis=0)
 
     def rounds(
         self, p: int, rng: np.random.Generator | None = None
@@ -39,12 +44,7 @@ class NBody(Pattern):
         self._check_size(p)
         if p == 1:
             return []
-        src = np.arange(p, dtype=np.int64)
-        ring = np.stack([src, (src + 1) % p], axis=1)
-        out = [ring.copy() for _ in range(p // 2)]
-        chord = np.stack([src, (src + p // 2) % p], axis=1)
-        out.append(chord)
-        return out
+        return list(self.cycle(p).reshape(p // 2 + 1, p, 2))
 
     def messages_per_cycle(self, p: int) -> int:
         return (p // 2 + 1) * p if p > 1 else 0

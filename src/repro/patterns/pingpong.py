@@ -22,6 +22,7 @@ class AllPairsPingPong(Pattern):
     """Every unordered pair exchanges a ping and a pong each cycle."""
 
     name = "ping-pong"
+    deterministic_cycle = True
 
     def cycle(self, p: int, rng: np.random.Generator | None = None) -> np.ndarray:
         self._check_size(p)

@@ -20,6 +20,7 @@ class Ring(Pattern):
     """Every rank messages its ring successor once per cycle."""
 
     name = "ring"
+    deterministic_cycle = True
 
     def cycle(self, p: int, rng: np.random.Generator | None = None) -> np.ndarray:
         self._check_size(p)

@@ -111,7 +111,7 @@ def pack_job_results(jobs: list[JobResult]) -> dict | None:
             ncomp_col.append(j.n_components)
     except (TypeError, ValueError, OverflowError):
         return None
-    return {
+    packed = {
         "start": starts,
         "completion": completions,
         "pw_total": pw_totals,
@@ -119,6 +119,13 @@ def pack_job_results(jobs: list[JobResult]) -> dict | None:
         "message_pairs": pairs_col,
         "n_components": ncomp_col,
     }
+    # A held column is written only when some job actually held more than
+    # it requested (page/submesh padding): everywhere else "held == size"
+    # is rebuilt on load, keeping artifact bytes identical to the
+    # pre-``held`` format.
+    if any(j.held and j.held != j.size for j in jobs):
+        packed["held"] = [j.held for j in jobs]
+    return packed
 
 
 def unpack_job_results(cols: dict, base_jobs: list[Job]) -> list[JobResult]:
@@ -126,6 +133,7 @@ def unpack_job_results(cols: dict, base_jobs: list[Job]) -> list[JobResult]:
     completions = cols["completion"]
     if len(base_jobs) != len(completions):
         raise ValueError("packed jobs do not align with the spec's job list")
+    held_col = cols.get("held")
     out = []
     for i, j in enumerate(base_jobs):
         start = cols["start"][i]
@@ -148,6 +156,7 @@ def unpack_job_results(cols: dict, base_jobs: list[Job]) -> list[JobResult]:
                 message_hops=mh,
                 n_components=cols["n_components"][i],
                 message_pairs=pairs,
+                held=held_col[i] if held_col is not None else j.size,
             )
         )
     return out

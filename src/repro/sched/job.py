@@ -51,7 +51,16 @@ class JobResult:
     ``response = completion - arrival`` is the paper's y-axis metric ("the
     total time it spent in the system").  ``duration`` is the service time
     (completion - start); ``stretch`` is duration relative to the
-    contention-free minimum (quota seconds at the nominal rate).
+    issue-rate floor of ``quota`` messages at the nominal rate (quota
+    seconds by default).  That floor excludes per-hop latency, so even a
+    contention-free job has stretch slightly above 1 -- the excess over
+    the idle-network stretch is the contention-induced slowdown.
+
+    ``held`` is the number of processors the allocation actually occupied,
+    including any page or submesh padding beyond the requested ``size``
+    (the utilization sweep charges held processors as busy).  Legacy
+    records predating the field carry the sentinel 0, meaning "assume
+    ``size``".
 
     ``message_pairs`` is the length of the job's pattern cycle (messages
     per cycle); together with the job size it makes both hop metrics exact
@@ -70,6 +79,7 @@ class JobResult:
     message_hops: float
     n_components: int
     message_pairs: int = 0
+    held: int = 0
 
     @property
     def response(self) -> float:

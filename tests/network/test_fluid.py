@@ -144,7 +144,9 @@ class TestFluidNetwork:
         )
         pairs = Ring().cycle(4)
         loads = build_load_vector(mesh, nodes, pairs, params.message_flits)
-        net.add_flow(job_id, loads, mean_hops=mean_message_hops(mesh, nodes, pairs))
+        hops = mean_message_hops(mesh, nodes, pairs)
+        net.add_flow(job_id, loads, mean_hops=hops)
+        return hops
 
     def test_contention_lowers_rates(self, mesh16):
         """Badly dispersed jobs sharing hot links slow each other down."""
@@ -164,8 +166,7 @@ class TestFluidNetwork:
         """gamma = 0 reduces the model to pure issue + hop latency."""
         params = NetworkParams(contention_factor=0.0)
         net = FluidNetwork(mesh16, params)
-        self._shuttle_job(mesh16, net, params, 0, row=4)
-        hops = net._hops[0]
+        hops = self._shuttle_job(mesh16, net, params, 0, row=4)
         expected = 1.0 / (1.0 + params.hop_latency * hops)
         assert net.rates()[0] == pytest.approx(expected)
 

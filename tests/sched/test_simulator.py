@@ -185,3 +185,38 @@ class TestConservation:
         result = make_sim(jobs).run()
         for job in result.jobs:
             assert job.duration >= job.quota / 1.0 - 1e-6
+
+
+class TestArrivalTolerance:
+    """Regression: arrival batching uses a *relative* time tolerance.
+
+    Late in a long trace the spacing between representable floats dwarfs
+    the old absolute ``1e-9`` epsilon, so arrivals that are equal for
+    every practical purpose (within a relative 1e-9 of the event time)
+    were split into separate events -- and diverged from the identical
+    workload expressed at small absolute times.
+    """
+
+    def test_coincident_arrivals_batch_at_large_times(self):
+        big = 1e9  # tolerance here is 1e-9 * 1e9 = 1 second
+        jobs = [
+            Job(0, big, 4, 10.0),
+            Job(1, big + 0.5, 4, 10.0),  # within relative tol, >> 1e-9
+        ]
+        for engine in ("vector", "loop"):
+            result = make_sim(jobs, engine=engine).run()
+            by_id = {j.job_id: j for j in result.jobs}
+            # One event: both jobs start together at the first arrival.
+            assert by_id[0].start == big
+            assert by_id[1].start == big
+
+    def test_distinct_arrivals_stay_separate_at_small_times(self):
+        jobs = [
+            Job(0, 0.0, 4, 10.0),
+            Job(1, 1e-3, 4, 10.0),  # far outside tol = 1e-9 near t=0
+        ]
+        for engine in ("vector", "loop"):
+            result = make_sim(jobs, engine=engine).run()
+            by_id = {j.job_id: j for j in result.jobs}
+            assert by_id[0].start == 0.0
+            assert by_id[1].start == 1e-3
