@@ -12,8 +12,8 @@
     python -m repro.campaign prune CAMPAIGN --dry-run   # retire artifacts+manifest
 
 ``CAMPAIGN`` is a path to a ``.toml``/``.json`` campaign file or the name
-of a bundled campaign (``fig07``, ``fig12``, ``figswf``, ``multishape``,
-``smoke`` -- see ``src/repro/campaign/data/``).  Results land in the
+of a bundled campaign (``clos``, ``fig07``, ``fig12``, ``figswf``,
+``multishape``, ``smoke`` -- see ``src/repro/campaign/data/``).  Results land in the
 standard artifact cache (``--cache-dir`` / ``$REPRO_CACHE_DIR``); the
 campaign manifest lives under ``<cache>/campaigns/`` and re-``run``\\ ning
 an interrupted campaign resumes from it with every completed cell served
@@ -158,11 +158,19 @@ def _report(args) -> int:
             return 2
         print(export_report(expansion, cache, metric=args.metric, fmt=args.format))
         return 0
+    group_by = args.group_by
+    if group_by is None:
+        # Default to the machine axis, whichever spelling the campaign
+        # uses; campaigns always have at least the four required axes.
+        names = expansion.axis_names
+        group_by = next(
+            (a for a in ("mesh", "topology") if a in names), names[0]
+        )
     print(
         format_campaign_report(
             expansion,
             cache,
-            group_by=args.group_by if args.group_by is not None else "mesh",
+            group_by=group_by,
             metric=args.metric,
             rows_axis=args.rows,
             cols_axis=args.cols,
@@ -255,7 +263,8 @@ def main(argv: list[str] | None = None) -> int:
     p_report.add_argument(
         "--group-by",
         default=None,
-        help="axis to group tables by (default: mesh; table format only)",
+        help="axis to group tables by (default: the machine axis -- mesh "
+        "or topology; table format only)",
     )
     p_report.add_argument(
         "--metric",

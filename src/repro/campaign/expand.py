@@ -5,8 +5,8 @@ ordered list of unique :class:`~repro.campaign.expand.CampaignCell`\\ s:
 the cross-product of the declared axes (outermost axis first, in file
 order), filtered by ``include``/``exclude``, patched by ``override``
 blocks, deduplicated by spec digest, and validated cell-by-cell (a
-2-D-only allocator on a 3-D mesh is rejected here, after filters had the
-chance to exclude it).
+2-D-only allocator on a 3-D mesh, or a mesh-only allocator on a switched
+fabric, is rejected here, after filters had the chance to exclude it).
 
 Workload sources resolve once per distinct source: SWF logs are parsed
 and prepared through the archive pipeline and -- when a workload store is
@@ -254,12 +254,19 @@ def expand(
     """
     if check:
         campaign.validate()
-    from repro.core.registry import allocator_names_3d
+    from repro.core.registry import (
+        allocator_names,
+        allocator_names_3d,
+        allocator_names_clos,
+    )
 
     axes = campaign.axes
     names = list(axes)
+    machine_axis = "topology" if "topology" in axes else "mesh"
     expansion = Expansion(campaign=campaign)
     allocators_3d = set(allocator_names_3d())
+    allocators_clos = set(allocator_names_clos())
+    clos_only = allocators_clos - set(allocator_names())
     source_cache: dict[TraceSource, tuple[dict, SourceInfo]] = {}
     seen: dict[str, CampaignCell] = {}
 
@@ -282,9 +289,23 @@ def expand(
             if _matches(ov.when, coords):
                 settings.update(ov.set)
 
-        mesh: MeshAxis = raw["mesh"]
+        mesh: MeshAxis = raw[machine_axis]
         allocator: str = raw["allocator"]
-        if len(mesh.shape) == 3 and allocator not in allocators_3d:
+        if mesh.topology is not None:
+            if allocator not in allocators_clos:
+                raise CampaignError(
+                    f"allocator {allocator!r} cannot place on the switched "
+                    f"fabric {mesh.label!r} (cell {coords}); restrict the "
+                    "axis, or add an [[exclude]] pairing them (Clos-capable "
+                    f"allocators: {sorted(allocators_clos)})"
+                )
+        elif allocator in clos_only:
+            raise CampaignError(
+                f"allocator {allocator!r} needs a switched fabric and cannot "
+                f"place on the mesh {mesh.label!r} (cell {coords}); restrict "
+                "the axis, or add an [[exclude]] pairing them"
+            )
+        elif len(mesh.shape) == 3 and allocator not in allocators_3d:
             raise CampaignError(
                 f"allocator {allocator!r} cannot place on the 3-D mesh "
                 f"{mesh.label!r} (cell {coords}); restrict the axis, or add "
@@ -316,6 +337,7 @@ def expand(
             spec = ExperimentSpec(
                 mesh_shape=mesh.shape,
                 torus=mesh.torus,
+                topology=mesh.topology,
                 pattern=raw["pattern"],
                 allocator=allocator,
                 load=float(raw["load"]),

@@ -126,6 +126,21 @@ def completed_cells(
     return pairs, missing
 
 
+def _check_metric_axis_collision(metric: str, axis_names: list[str]) -> None:
+    """Reject metric names that shadow an axis.
+
+    ``RunSummary`` fields like ``allocator`` share names with axes; a
+    colliding metric would overwrite the cell's coordinate in the flat
+    rows and duplicate the CSV header column, so fail loudly instead.
+    """
+    if metric in axis_names:
+        raise ValueError(
+            f"metric {metric!r} collides with the campaign's {metric!r} axis "
+            "-- the flat rows would overwrite the cell coordinate with the "
+            "summary value; pick a numeric metric (e.g. 'mean_response')"
+        )
+
+
 def completed_rows(
     expansion: Expansion, cache: ResultCache, metric: str = "mean_response"
 ) -> tuple[list[dict], int]:
@@ -136,6 +151,7 @@ def completed_rows(
     :func:`repro.analysis.tables.format_pivot` consumes.
     """
     _check_metric(metric)
+    _check_metric_axis_collision(metric, expansion.axis_names)
     pairs, missing = completed_cells(expansion, cache)
     rows = []
     for cell, summary in pairs:
@@ -210,6 +226,7 @@ def format_campaign_report(
     two groups adds the pairwise machine-comparison ratio table.
     """
     _check_metric(metric)
+    _check_metric_axis_collision(metric, expansion.axis_names)
     axis_names = expansion.axis_names
     if group_by not in axis_names:
         raise ValueError(
@@ -265,7 +282,57 @@ def format_campaign_report(
         comparison = _mesh_comparison(pairs, group_values, metric)
         if comparison:
             blocks.append(comparison)
+    if group_by in ("mesh", "topology"):
+        panel = _contiguity_panel(pairs, group_by, group_values, metric)
+        if panel:
+            blocks.append(panel)
     return "\n\n".join(blocks)
+
+
+def _contiguity_panel(pairs, group_by: str, group_values, metric: str) -> str:
+    """Random-vs-best placement table: does contiguity still matter?
+
+    For every machine in the grouping axis, the scattered ``random``
+    baseline's mean ``metric`` next to the best locality-aware
+    allocator's, plus their ratio.  On a mesh the ratio is well above 1
+    (the paper's contiguity result); if a Clos fabric's ratio sits near
+    1, placement locality has stopped mattering on that machine -- the
+    bundled ``clos`` campaign's headline question.  Empty when the
+    campaign has no ``random`` allocator to serve as the baseline.
+    """
+    rows = []
+    for value in group_values:
+        by_alloc: dict[str, list[float]] = {}
+        for cell, summary in pairs:
+            if cell.coords[group_by] != value:
+                continue
+            by_alloc.setdefault(cell.coords["allocator"], []).append(
+                float(getattr(summary, metric))
+            )
+        means = {a: sum(v) / len(v) for a, v in by_alloc.items()}
+        random_mean = means.pop("random", None)
+        if random_mean is None or not means:
+            continue
+        best_name, best_mean = min(means.items(), key=lambda kv: (kv[1], kv[0]))
+        rows.append(
+            {
+                group_by: value,
+                "random": random_mean,
+                "best": best_name,
+                "best value": best_mean,
+                "random/best": random_mean / best_mean if best_mean else float("nan"),
+            }
+        )
+    if not rows:
+        return ""
+    return format_table(
+        rows,
+        float_fmt=".2f",
+        title=(
+            f"contiguity check -- random vs best placement ({metric}); "
+            "ratio near 1 = placement stopped mattering"
+        ),
+    )
 
 
 def _mesh_comparison(pairs, meshes, metric: str) -> str:

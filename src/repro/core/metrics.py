@@ -17,7 +17,7 @@ from collections import deque
 
 import numpy as np
 
-from repro.mesh.topology import Mesh2D, Mesh3D
+from repro.mesh.topology import Mesh2D, Topology
 
 __all__ = [
     "average_pairwise_hops",
@@ -29,7 +29,7 @@ __all__ = [
     "rank_span",
 ]
 
-AnyMesh = Mesh2D | Mesh3D
+AnyMesh = Topology
 
 
 def _circular_pairwise_sum(coords: np.ndarray, extent: int) -> int:
@@ -56,11 +56,15 @@ def total_pairwise_hops(mesh: AnyMesh, nodes) -> int:
     ``sum_{i<j} |c_i - c_j| = sum_j (2j - k + 1) * c_(j)`` (O(k log k)),
     which also powers the Gen-Alg inner loop.  Torus axes use a value
     census instead, since the identity does not survive wraparound.
+    Switched fabrics (Clos) carry their own distance-class censuses and
+    are dispatched to ``total_pairwise_distance``.
     """
     nodes = np.asarray(nodes, dtype=np.int64)
     k = len(nodes)
     if k < 2:
         return 0
+    if not getattr(mesh, "is_mesh", True):
+        return int(mesh.total_pairwise_distance(nodes))
     total = 0
     for coords, extent in zip(mesh.axis_coords(nodes), mesh.shape):
         c = coords.astype(np.int64)
@@ -74,7 +78,8 @@ def total_pairwise_hops(mesh: AnyMesh, nodes) -> int:
 
 
 def average_pairwise_hops(mesh: AnyMesh, nodes) -> float:
-    """Mean Manhattan distance over unordered processor pairs."""
+    """Mean hop distance over unordered processor pairs (Manhattan on
+    meshes, deterministic-route length on Clos fabrics)."""
     nodes = np.asarray(nodes, dtype=np.int64)
     k = len(nodes)
     if k < 2:
@@ -83,11 +88,16 @@ def average_pairwise_hops(mesh: AnyMesh, nodes) -> float:
 
 
 def components(mesh: AnyMesh, nodes) -> list[list[int]]:
-    """Mesh-connected components of an allocated node set (each sorted).
+    """Connected components of an allocated node set (each sorted).
 
     Connectivity follows ``mesh.neighbors``: 4-neighbourhoods on 2-D
-    meshes, 6-neighbourhoods on 3-D meshes, with wraparound on tori.
+    meshes, 6-neighbourhoods on 3-D meshes, with wraparound on tori.  On
+    switched fabrics hosts never link to each other, so a component is the
+    set of allocated hosts under one first-hop switch (rack/leaf/router)
+    -- the Clos reading of contiguity.
     """
+    if not getattr(mesh, "is_mesh", True):
+        return mesh.components(nodes)
     nodes = np.asarray(nodes, dtype=np.int64)
     node_set = set(int(v) for v in nodes)
     if len(node_set) != len(nodes):
@@ -119,8 +129,11 @@ def n_components(mesh: AnyMesh, nodes) -> int:
     the wraparound edges of a torus) and merged by vectorised min-label
     propagation, so the per-job cost on the simulator's hot path is a few
     O(k)-sized array rounds for k allocated processors instead of a Python
-    neighbour walk.
+    neighbour walk.  Switched fabrics count distinct first-hop switches
+    instead (see :func:`components`).
     """
+    if not getattr(mesh, "is_mesh", True):
+        return mesh.n_components(nodes)
     nodes = np.asarray(nodes, dtype=np.int64)
     k = len(nodes)
     if k == 0:

@@ -11,7 +11,12 @@ Names follow the paper's labels:
 * ``"contiguous"`` -- the first-fit-submesh convex baseline (Section 2's
   motivation),
 * ``"hybrid"`` -- the pattern-dispatching strategy of Section 5's
-  discussion.
+  discussion,
+* ``"random"`` -- the scattered baseline (any topology),
+* ``"rack-aware"`` / ``"pod-local"`` / ``"oversub-aware"`` -- the
+  hierarchy-aware strategies for the switched Clos fabrics of
+  :mod:`repro.mesh.clos`; they raise on meshes, and
+  :func:`allocator_names_clos` lists what places on a Clos machine.
 
 :func:`paper_allocators` returns the nine strategies plotted in Figs 7/8,
 and :func:`fig11_allocators` the twelve rows of the Fig 11 table.
@@ -31,6 +36,12 @@ from repro.core.base import Allocator
 from repro.core.contiguous import FirstFitSubmesh
 from repro.core.curves3d import BUILDERS_3D
 from repro.core.genalg import GenAlgAllocator
+from repro.core.hierarchy import (
+    OversubAwareAllocator,
+    PodLocalAllocator,
+    RackAwareAllocator,
+    RandomAllocator,
+)
 from repro.core.hybrid import HybridAllocator
 from repro.core.mc import MCAllocator
 from repro.core.paging import PagingAllocator
@@ -39,6 +50,7 @@ __all__ = [
     "make_allocator",
     "allocator_names",
     "allocator_names_3d",
+    "allocator_names_clos",
     "paper_allocators",
     "fig11_allocators",
 ]
@@ -68,6 +80,14 @@ def make_allocator(name: str, **kwargs) -> Allocator:
         return FirstFitSubmesh(**kwargs)
     if lowered == "hybrid":
         return HybridAllocator(**kwargs)
+    if lowered == "random":
+        return RandomAllocator(**kwargs)
+    if lowered in ("rack-aware", "rackaware"):
+        return RackAwareAllocator(**kwargs)
+    if lowered in ("pod-local", "podlocal"):
+        return PodLocalAllocator(**kwargs)
+    if lowered in ("oversub-aware", "oversubscription-aware"):
+        return OversubAwareAllocator(**kwargs)
     curve, _, suffix = lowered.partition("+")
     if curve in _CURVES:
         if suffix == "":
@@ -75,12 +95,18 @@ def make_allocator(name: str, **kwargs) -> Allocator:
         else:
             policy = _SUFFIX_POLICY.get(suffix, suffix)
         return PagingAllocator(curve_name=curve, policy=policy, **kwargs)
-    raise KeyError(f"unknown allocator {name!r}; known: {allocator_names()}")
+    known = sorted(set(allocator_names()) | set(allocator_names_clos()))
+    raise KeyError(f"unknown allocator {name!r}; known: {known}")
 
 
 def allocator_names() -> list[str]:
-    """All canonical allocator names."""
-    names = ["mc", "mc1x1", "gen-alg", "contiguous", "hybrid"]
+    """All canonical names that place on 2-D meshes.
+
+    ``random`` is topology-agnostic and appears here, in
+    :func:`allocator_names_3d`, and in :func:`allocator_names_clos`; the
+    hierarchy strategies are Clos-only and listed by the latter.
+    """
+    names = ["mc", "mc1x1", "gen-alg", "contiguous", "hybrid", "random"]
     for curve in _CURVES:
         names.append(curve)
         names.extend(f"{curve}+{sfx}" for sfx in _SUFFIX_POLICY)
@@ -89,11 +115,21 @@ def allocator_names() -> list[str]:
 
 def allocator_names_3d() -> list[str]:
     """Canonical names of the strategies that also place on 3-D meshes."""
-    names = []
+    names = ["random"]
     for curve in _CURVES_3D:
         names.append(curve)
         names.extend(f"{curve}+{sfx}" for sfx in _SUFFIX_POLICY)
     return names
+
+
+def allocator_names_clos() -> list[str]:
+    """Canonical names of the strategies that place on switched fabrics.
+
+    The hierarchy-aware strategies need
+    :meth:`~repro.mesh.clos.ClosTopology.hierarchy_levels` and raise on
+    meshes; ``random`` places anywhere.
+    """
+    return ["random", "rack-aware", "pod-local", "oversub-aware"]
 
 
 def paper_allocators() -> list[Allocator]:

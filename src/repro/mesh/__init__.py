@@ -9,17 +9,36 @@ This package models the space-shared mesh-connected machines of the paper
   deadlock-free routing used by ProcSimity and by the paper's contiguity
   discussion ("messages use x-y routing rather than arbitrary paths"),
 * :class:`~repro.mesh.machine.Machine` -- the processor-occupancy state
-  shared by the scheduler and the allocators.
+  shared by the scheduler and the allocators,
+* :mod:`~repro.mesh.clos` -- the switched (fat-tree / leaf-spine /
+  dragonfly) implementations of the :class:`~repro.mesh.topology.Topology`
+  protocol, built from strings by
+  :func:`~repro.mesh.clos.build_topology`.
 """
 
+from repro.mesh.clos import (
+    ClosTopology,
+    Dragonfly,
+    FatTree,
+    LeafSpine,
+    build_topology,
+    topology_label,
+)
 from repro.mesh.machine import Machine
 from repro.mesh.routing import route_links, route_path
-from repro.mesh.topology import Mesh2D, Mesh3D, mesh_from_shape
+from repro.mesh.topology import Mesh2D, Mesh3D, Topology, mesh_from_shape
 
 __all__ = [
+    "Topology",
     "Mesh2D",
     "Mesh3D",
     "mesh_from_shape",
+    "ClosTopology",
+    "FatTree",
+    "LeafSpine",
+    "Dragonfly",
+    "build_topology",
+    "topology_label",
     "Machine",
     "route_path",
     "route_links",

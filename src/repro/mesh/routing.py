@@ -17,11 +17,15 @@ the positive direction), which remains deadlock-free with the
 virtual-channel assumption customary for torus wormhole routing; the
 paper's 2-D machines are plain meshes, so only the 3-D torus experiments
 exercise wraparound.
+
+Non-mesh topologies (the Clos fabrics of :mod:`repro.mesh.clos`) carry
+their own deterministic up/down routing; the functions below dispatch to
+it so callers stay topology-agnostic.
 """
 
 from __future__ import annotations
 
-from repro.mesh.topology import Mesh2D, Mesh3D
+from repro.mesh.topology import Topology
 
 __all__ = ["route_path", "route_links", "route_hop_count"]
 
@@ -44,13 +48,16 @@ def _axis_steps(src: int, dst: int, extent: int, torus: bool) -> list[int]:
     return out
 
 
-def route_path(mesh: Mesh2D | Mesh3D, src: int, dst: int) -> list[int]:
-    """Node ids visited by a dimension-ordered message from ``src`` to ``dst``.
+def route_path(mesh: Topology, src: int, dst: int) -> list[int]:
+    """Vertex ids visited by a message from ``src`` to ``dst``.
 
     The list includes both endpoints; a self-message yields ``[src]``.
-    Axes are corrected lowest-first (x, then y, then z), so on 2-D meshes
-    this is exactly the paper's x-y routing.
+    On meshes axes are corrected lowest-first (x, then y, then z) -- exactly
+    the paper's x-y routing; switched fabrics route up/down through their
+    switch vertices.
     """
+    if not getattr(mesh, "is_mesh", True):
+        return mesh.route(src, dst)
     cur = list(mesh.coords(src))
     dst_coords = mesh.coords(dst)
     path = [src]
@@ -61,18 +68,19 @@ def route_path(mesh: Mesh2D | Mesh3D, src: int, dst: int) -> list[int]:
     return path
 
 
-def route_hop_count(mesh: Mesh2D | Mesh3D, src: int, dst: int) -> int:
-    """Number of links a dimension-ordered message crosses (== Manhattan)."""
-    return mesh.manhattan(src, dst)
+def route_hop_count(mesh: Topology, src: int, dst: int) -> int:
+    """Number of links a routed message crosses (Manhattan on meshes)."""
+    return mesh.distance(src, dst)
 
 
-def route_links(mesh: Mesh2D | Mesh3D, src: int, dst: int) -> list[int]:
+def route_links(mesh: Topology, src: int, dst: int) -> list[int]:
     """Directed link ids traversed from ``src`` to ``dst``.
 
-    Link ids follow :class:`repro.network.links.LinkSpace`; importing lazily
-    here avoids a package cycle (network depends on mesh).
+    Link ids follow the topology's link space (see
+    :func:`repro.network.links.link_space_for`); importing lazily here
+    avoids a package cycle (network depends on mesh).
     """
-    from repro.network.links import LinkSpace
+    from repro.network.links import link_space_for
 
-    space = LinkSpace.for_mesh(mesh)
+    space = link_space_for(mesh)
     return space.links_on_route(src, dst)

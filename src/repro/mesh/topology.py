@@ -18,15 +18,77 @@ Both classes share the N-D surface the rest of the stack programs against:
 ``pairwise_manhattan`` (torus-aware), and ``neighbors``.
 :func:`mesh_from_shape` builds the right class from a plain shape tuple,
 which is how :mod:`repro.runner` turns serialized specs back into machines.
+
+Meshes are one family of :class:`Topology` -- the structural protocol the
+routing, link-accounting, and metrics layers program against.  The Clos
+fabrics of :mod:`repro.mesh.clos` (fat-tree, leaf-spine, dragonfly)
+implement the same protocol with explicit switch vertices; meshes keep
+their vectorised closed forms as the fast path (``is_mesh`` distinguishes
+the two families where a closed form only exists for meshes).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
 
 import numpy as np
 
-__all__ = ["Mesh2D", "Mesh3D", "mesh_from_shape"]
+__all__ = ["Topology", "Mesh2D", "Mesh3D", "mesh_from_shape"]
+
+
+@runtime_checkable
+class Topology(Protocol):
+    """Structural protocol every machine topology implements.
+
+    *Hosts* (allocatable processors) carry dense ids in ``[0, n_nodes)``;
+    topologies with explicit switches expose them as extra vertices in
+    ``[n_nodes, n_vertices)``.  Meshes have no switches, so there every
+    vertex is a host.  The surface below is what the routing
+    (:mod:`repro.mesh.routing`), link-accounting
+    (:mod:`repro.network.links`), and metrics (:mod:`repro.core.metrics`)
+    layers require; implementations additionally set the class attribute
+    ``is_mesh`` so mesh-only closed forms (difference-array link censuses,
+    per-axis pairwise sums) can keep their fast path.
+    """
+
+    torus: bool
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of allocatable hosts."""
+        ...
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Serialisable extent tuple (``(n_nodes,)`` for switched fabrics)."""
+        ...
+
+    @property
+    def n_dims(self) -> int:
+        """Length of ``shape``."""
+        ...
+
+    def all_nodes(self) -> np.ndarray:
+        """Array of every host id."""
+        ...
+
+    def neighbors(self, node: int) -> list[int]:
+        """Vertices sharing a link with ``node`` (hosts or switches)."""
+        ...
+
+    def route(self, src: int, dst: int) -> list[int]:
+        """Vertex path of a message from host ``src`` to host ``dst``,
+        both endpoints included (``[src]`` for a self-message)."""
+        ...
+
+    def distance(self, a, b):
+        """Hop count of :meth:`route` between host ids (broadcasts)."""
+        ...
+
+    def pairwise_distance(self, nodes) -> np.ndarray:
+        """Dense ``(k, k)`` matrix of hop distances between ``nodes``."""
+        ...
 
 
 @dataclass(frozen=True)
@@ -49,6 +111,9 @@ class Mesh2D:
     # Cached coordinate arrays (index -> x / y), built lazily in __post_init__.
     _xs: np.ndarray = field(init=False, repr=False, compare=False)
     _ys: np.ndarray = field(init=False, repr=False, compare=False)
+
+    #: Meshes keep the vectorised closed-form fast paths (see Topology).
+    is_mesh = True
 
     def __post_init__(self) -> None:
         if self.width < 1 or self.height < 1:
@@ -119,6 +184,19 @@ class Mesh2D:
             d = np.minimum(d, extent - d)
         return d
 
+    def _check_ids(self, *arrays) -> None:
+        """Reject out-of-range ids with the same error as :meth:`coords`.
+
+        The distance helpers index the cached coordinate arrays directly;
+        without this check a negative id would silently wrap to the last
+        node instead of raising.
+        """
+        for arr in arrays:
+            if np.any(arr < 0) or np.any(arr >= self.n_nodes):
+                raise ValueError(
+                    f"node id out of range for {self.width}x{self.height}"
+                )
+
     def manhattan(self, a, b):
         """Manhattan (hop) distance between node ids ``a`` and ``b``.
 
@@ -128,6 +206,7 @@ class Mesh2D:
         """
         a = np.asarray(a)
         b = np.asarray(b)
+        self._check_ids(a, b)
         dx = self._axis_delta(self._xs[a], self._xs[b], self.width)
         dy = self._axis_delta(self._ys[a], self._ys[b], self.height)
         out = dx + dy
@@ -137,6 +216,7 @@ class Mesh2D:
         """Chebyshev (L-infinity) distance; MC's shells are Chebyshev rings."""
         a = np.asarray(a)
         b = np.asarray(b)
+        self._check_ids(a, b)
         dx = self._axis_delta(self._xs[a], self._xs[b], self.width)
         dy = self._axis_delta(self._ys[a], self._ys[b], self.height)
         out = np.maximum(dx, dy)
@@ -145,11 +225,22 @@ class Mesh2D:
     def pairwise_manhattan(self, nodes) -> np.ndarray:
         """Dense ``(k, k)`` matrix of Manhattan distances between ``nodes``."""
         nodes = np.asarray(nodes)
+        self._check_ids(nodes)
         xs = self._xs[nodes]
         ys = self._ys[nodes]
         dx = self._axis_delta(xs[:, None], xs[None, :], self.width)
         dy = self._axis_delta(ys[:, None], ys[None, :], self.height)
         return dx + dy
+
+    # Protocol names: on meshes the hop distance *is* Manhattan distance.
+    distance = manhattan
+    pairwise_distance = pairwise_manhattan
+
+    def route(self, src: int, dst: int) -> list[int]:
+        """Dimension-ordered (x-y) route; see :func:`repro.mesh.routing`."""
+        from repro.mesh.routing import route_path
+
+        return route_path(self, src, dst)
 
     # ------------------------------------------------------------------
     # Adjacency
@@ -164,7 +255,9 @@ class Mesh2D:
                 nx %= self.width
                 ny %= self.height
                 if (nx, ny) != (x, y):  # degenerate 1-wide axes
-                    out.append(self.node_id(nx, ny))
+                    nid = self.node_id(nx, ny)
+                    if nid not in out:  # 2-wide axes: +1 and -1 coincide
+                        out.append(nid)
             elif self.contains(nx, ny):
                 out.append(self.node_id(nx, ny))
         return out
@@ -200,6 +293,9 @@ class Mesh3D:
     _xs: np.ndarray = field(init=False, repr=False, compare=False)
     _ys: np.ndarray = field(init=False, repr=False, compare=False)
     _zs: np.ndarray = field(init=False, repr=False, compare=False)
+
+    #: Meshes keep the vectorised closed-form fast paths (see Topology).
+    is_mesh = True
 
     def __post_init__(self) -> None:
         if min(self.width, self.height, self.depth) < 1:
@@ -284,12 +380,24 @@ class Mesh3D:
     def pairwise_manhattan(self, nodes) -> np.ndarray:
         """Dense ``(k, k)`` matrix of Manhattan distances between ``nodes``."""
         nodes = np.asarray(nodes)
+        if np.any(nodes < 0) or np.any(nodes >= self.n_nodes):
+            raise ValueError("node id out of range")
         out = np.zeros((len(nodes), len(nodes)), dtype=np.int64)
         for coords, extent in zip(
             self.axis_coords(nodes), (self.width, self.height, self.depth)
         ):
             out += self._axis_delta(coords[:, None], coords[None, :], extent)
         return out
+
+    # Protocol names: on meshes the hop distance *is* Manhattan distance.
+    distance = manhattan
+    pairwise_distance = pairwise_manhattan
+
+    def route(self, src: int, dst: int) -> list[int]:
+        """Dimension-ordered (x-y-z) route; see :func:`repro.mesh.routing`."""
+        from repro.mesh.routing import route_path
+
+        return route_path(self, src, dst)
 
     def neighbors(self, node: int) -> list[int]:
         """6-neighbourhood of ``node``."""
@@ -304,7 +412,9 @@ class Mesh3D:
                 ny %= self.height
                 nz %= self.depth
                 if (nx, ny, nz) != (x, y, z):
-                    out.append(self.node_id(nx, ny, nz))
+                    nid = self.node_id(nx, ny, nz)
+                    if nid not in out:  # 2-wide axes: +1 and -1 coincide
+                        out.append(nid)
             elif (
                 0 <= nx < self.width
                 and 0 <= ny < self.height

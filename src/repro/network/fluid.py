@@ -58,8 +58,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.mesh.topology import Mesh2D, Mesh3D
-from repro.network.links import LinkSpace
+from repro.mesh.topology import Topology
+from repro.network.links import link_space_for
 
 __all__ = ["NetworkParams", "FluidNetwork", "max_min_rates"]
 
@@ -247,10 +247,10 @@ class FluidNetwork:
     #: sum's accumulated rounding (ulps) from ever flipping the test.
     _GATE_MARGIN = 0.875
 
-    def __init__(self, mesh: Mesh2D | Mesh3D, params: NetworkParams | None = None):
+    def __init__(self, mesh: Topology, params: NetworkParams | None = None):
         self.mesh = mesh
         self.params = params or NetworkParams()
-        self.space = LinkSpace.for_mesh(mesh)
+        self.space = link_space_for(mesh)
         cap = self.params.effective_link_capacity
         if not np.isfinite(cap):
             cap = 1e12  # latency-free configuration: feasibility never binds

@@ -27,15 +27,22 @@ of a dimension-ordered route covers a (circular) interval of columns, so a
 batch of messages reduces to scattered +/- marks followed by a ``cumsum``
 along the leg axis -- O(messages + links), no Python-level loop, on meshes
 *and* tori.
+
+Switched fabrics (:mod:`repro.mesh.clos`) get the same two-sided surface
+from :class:`GraphLinkSpace`, which numbers the directed links of an
+explicit vertex graph and accumulates batched loads through the
+topology's masked hop templates (``route_segments``).  Callers that only
+need *a* link space for *a* topology use :func:`link_space_for`, which
+returns the cached mesh fast path unchanged for meshes.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.mesh.topology import Mesh2D, Mesh3D
+from repro.mesh.topology import Mesh2D, Mesh3D, Topology
 
-__all__ = ["LinkSpace"]
+__all__ = ["LinkSpace", "GraphLinkSpace", "link_space_for"]
 
 
 class LinkSpace:
@@ -300,3 +307,108 @@ class LinkSpace:
         sel = [slice(None)] * self.n_dims
         sel[axis_pos] = slice(0, self.axis_cols[axis])
         return cum[tuple(sel)].ravel()
+
+
+class GraphLinkSpace:
+    """Directed-link id space of an explicit vertex graph topology.
+
+    Built from a :class:`~repro.mesh.clos.ClosTopology`'s adjacency: every
+    undirected link becomes two directed links (full-duplex channels, as
+    in :class:`LinkSpace`), numbered by ascending ``(from, to)`` vertex
+    pair.  A dense ``(n_vertices, n_vertices)`` pair -> link-id matrix
+    makes id lookup and batched accumulation pure array indexing; Clos
+    vertex counts are small (hundreds to a few thousand), so the matrix
+    stays a few megabytes.
+    """
+
+    def __init__(self, topology):
+        self.topology = topology
+        n_v = topology.n_vertices
+        self.n_vertices = n_v
+        link_of = np.full((n_v, n_v), -1, dtype=np.int64)
+        heads: list[int] = []
+        tails: list[int] = []
+        for u in range(n_v):
+            for v in topology.neighbors(u):
+                if link_of[u, v] >= 0:
+                    raise ValueError(
+                        f"duplicate link {u}->{v} in {topology!r} adjacency"
+                    )
+                link_of[u, v] = len(heads)
+                heads.append(u)
+                tails.append(v)
+        present = link_of >= 0
+        if not np.array_equal(present, present.T):
+            raise ValueError(f"asymmetric adjacency in {topology!r}")
+        self.n_links = len(heads)
+        self._link_of = link_of
+        self._heads = np.asarray(heads, dtype=np.int64)
+        self._tails = np.asarray(tails, dtype=np.int64)
+
+    def link_id(self, u: int, v: int) -> int:
+        """Id of the directed link from vertex ``u`` to vertex ``v``."""
+        if not (0 <= u < self.n_vertices and 0 <= v < self.n_vertices):
+            raise ValueError(f"vertex id out of range: ({u}, {v})")
+        lid = int(self._link_of[u, v])
+        if lid < 0:
+            raise ValueError(f"no link {u}->{v} in {self.topology!r}")
+        return lid
+
+    def endpoints(self, link: int) -> tuple[int, int]:
+        """``(from_vertex, to_vertex)`` of a directed link id."""
+        if link < 0 or link >= self.n_links:
+            raise ValueError(f"link id {link} out of range")
+        return int(self._heads[link]), int(self._tails[link])
+
+    def links_on_route(self, src: int, dst: int) -> list[int]:
+        """Directed link ids crossed by the topology's route."""
+        path = self.topology.route(src, dst)
+        return [self.link_id(u, v) for u, v in zip(path, path[1:])]
+
+    def accumulate_route_loads(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        weight: float | np.ndarray = 1.0,
+    ) -> np.ndarray:
+        """Per-link traversal loads for a batch of routed messages.
+
+        The topology's ``route_segments`` expresses every message's route
+        as the masked subsequence of a short fixed hop template, so the
+        whole batch accumulates with one ``np.add.at`` per template hop
+        -- the switched-fabric analogue of the mesh difference arrays.
+        """
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        if src.shape != dst.shape:
+            raise ValueError("src and dst must have the same shape")
+        weight_arr = np.broadcast_to(
+            np.asarray(weight, dtype=np.float64), src.shape
+        ).ravel()
+        src = src.ravel()
+        dst = dst.ravel()
+        loads = np.zeros(self.n_links, dtype=np.float64)
+        for u, v, mask in self.topology.route_segments(src, dst):
+            if not np.any(mask):
+                continue
+            u = np.broadcast_to(np.asarray(u, dtype=np.int64), mask.shape)
+            v = np.broadcast_to(np.asarray(v, dtype=np.int64), mask.shape)
+            ids = self._link_of[u[mask], v[mask]]
+            if np.any(ids < 0):
+                raise ValueError(
+                    f"route segment crosses a non-link in {self.topology!r}"
+                )
+            np.add.at(loads, ids, weight_arr[mask])
+        return loads
+
+
+def link_space_for(topology: Topology):
+    """The link space matching ``topology``.
+
+    Meshes keep their cached vectorised :class:`LinkSpace` (identity --
+    this is the fast path the benchmarks pin); switched topologies return
+    their own cached :class:`GraphLinkSpace`.
+    """
+    if getattr(topology, "is_mesh", True):
+        return LinkSpace.for_mesh(topology)
+    return topology.link_space()

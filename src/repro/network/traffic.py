@@ -15,8 +15,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.metrics import total_pairwise_hops
-from repro.mesh.topology import Mesh2D, Mesh3D
-from repro.network.links import LinkSpace
+from repro.mesh.topology import Mesh2D, Mesh3D, Topology
+from repro.network.links import LinkSpace, link_space_for
 
 __all__ = [
     "pairs_to_nodes",
@@ -58,21 +58,22 @@ def pairs_to_nodes(
 
 
 def build_load_vector(
-    mesh: Mesh2D | Mesh3D,
+    mesh: Topology,
     nodes: np.ndarray,
     pairs: np.ndarray,
     message_flits: float = 1.0,
 ) -> np.ndarray:
     """Per-directed-link flit load *per message sent* for one pattern cycle.
 
-    The cycle's messages are x-y routed over the allocation; each traversal
-    of a link contributes ``message_flits`` flits.  The total is divided by
-    the cycle length, so multiplying by a job's message rate (messages/sec)
-    yields the job's flit flow on each link (flits/sec).
+    The cycle's messages are deterministically routed over the allocation
+    (x-y on meshes, up/down on Clos fabrics); each traversal of a link
+    contributes ``message_flits`` flits.  The total is divided by the cycle
+    length, so multiplying by a job's message rate (messages/sec) yields
+    the job's flit flow on each link (flits/sec).
 
     An empty cycle (single-processor job) yields the zero vector.
     """
-    space = LinkSpace.for_mesh(mesh)
+    space = link_space_for(mesh)
     src, dst = pairs_to_nodes(nodes, pairs)
     if src.size == 0:
         return np.zeros(space.n_links, dtype=np.float64)
@@ -81,20 +82,24 @@ def build_load_vector(
     return loads
 
 
-def mean_message_hops(mesh: Mesh2D | Mesh3D, nodes: np.ndarray, pairs: np.ndarray) -> float:
-    """Average Manhattan hops per message of a pattern cycle (Fig 10 metric)."""
+def mean_message_hops(mesh: Topology, nodes: np.ndarray, pairs: np.ndarray) -> float:
+    """Average hops per message of a pattern cycle (Fig 10 metric).
+
+    Hop count follows the topology's deterministic routing: Manhattan
+    distance on meshes, up/down path length on Clos fabrics.
+    """
     src, dst = pairs_to_nodes(nodes, pairs)
     if src.size == 0:
         return 0.0
-    return float(np.mean(mesh.manhattan(src, dst)))
+    return float(np.mean(mesh.distance(src, dst)))
 
 
-def total_message_hops(mesh: Mesh2D | Mesh3D, nodes: np.ndarray, pairs: np.ndarray) -> int:
-    """Total Manhattan hops summed over one pattern cycle."""
+def total_message_hops(mesh: Topology, nodes: np.ndarray, pairs: np.ndarray) -> int:
+    """Total hops summed over one pattern cycle."""
     src, dst = pairs_to_nodes(nodes, pairs)
     if src.size == 0:
         return 0
-    return int(np.sum(mesh.manhattan(src, dst)))
+    return int(np.sum(mesh.distance(src, dst)))
 
 
 def all_pairs_load_vector(
@@ -180,7 +185,7 @@ def all_pairs_mean_hops(mesh: Mesh2D | Mesh3D, nodes: np.ndarray) -> float:
 
 
 def pattern_flow_profile(
-    mesh: Mesh2D | Mesh3D,
+    mesh: Topology,
     pattern,
     nodes: np.ndarray,
     message_flits: float = 1.0,
@@ -189,15 +194,21 @@ def pattern_flow_profile(
     """``(load_vector, mean_hops, cycle_length)`` of one job's traffic.
 
     The simulator's per-start entry point: uniform all-pairs patterns on
-    plain meshes take the closed-form census path, other deterministic
-    patterns reuse one cached cycle per job size, and stochastic patterns
-    draw a fresh cycle from ``rng``.  All three paths are bit-identical to
-    building the cycle and accumulating its routes message by message.
+    plain meshes take the closed-form census path (the factorisation is a
+    mesh identity, so Clos fabrics fall through to the generic
+    accumulation), other deterministic patterns reuse one cached cycle per
+    job size, and stochastic patterns draw a fresh cycle from ``rng``.
+    All the paths are bit-identical to building the cycle and accumulating
+    its routes message by message.
     """
     p = len(nodes)
-    if getattr(pattern, "uniform_all_pairs", False) and not mesh.torus:
+    if (
+        getattr(pattern, "uniform_all_pairs", False)
+        and getattr(mesh, "is_mesh", True)
+        and not mesh.torus
+    ):
         if p < 2:
-            space = LinkSpace.for_mesh(mesh)
+            space = link_space_for(mesh)
             return np.zeros(space.n_links, dtype=np.float64), 0.0, 0
         return (
             all_pairs_load_vector(mesh, nodes, message_flits),

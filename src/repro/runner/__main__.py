@@ -56,7 +56,8 @@ def _ls(cache: ResultCache, args) -> int:
             {
                 "key": path.name.partition(".")[0][:12],
                 "pattern": spec.pattern,
-                "mesh": "x".join(str(n) for n in spec.mesh_shape)
+                "mesh": spec.topology
+                or "x".join(str(n) for n in spec.mesh_shape)
                 + ("t" if spec.torus else ""),
                 "allocator": spec.allocator,
                 "load": spec.load,

@@ -56,7 +56,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.registry import make_allocator
-from repro.mesh.topology import mesh_from_shape
 from repro.patterns.base import get_pattern
 from repro.runner.cache import ResultCache
 from repro.runner.spec import CellResult, ExperimentSpec
@@ -138,7 +137,7 @@ def run_cell(spec: ExperimentSpec, store=None) -> CellResult:
         pattern = get_pattern(spec.pattern)
         label = None
     sim = Simulation(
-        mesh_from_shape(spec.mesh_shape, torus=spec.torus),
+        spec.build_machine_topology(),
         make_allocator(spec.allocator),
         pattern,
         spec.build_jobs(store),

@@ -26,6 +26,9 @@ import json
 import math
 from dataclasses import asdict, dataclass, field, fields, replace
 
+from repro.mesh.clos import build_topology as _build_topology
+from repro.mesh.clos import topology_label
+from repro.mesh.topology import Topology, mesh_from_shape
 from repro.network.fluid import NetworkParams
 from repro.sched.job import Job, JobResult
 from repro.sched.stats import RunSummary
@@ -56,11 +59,19 @@ class ExperimentSpec:
     ----------
     mesh_shape:
         ``(width, height)`` of a 2-D mesh or ``(width, height, depth)`` of
-        a 3-D mesh.
+        a 3-D mesh.  Derived (``(n_hosts,)``) when ``topology`` is set.
     torus:
         Opposite faces connected (k-ary n-cube).  False (the paper's plain
         meshes) is omitted from the serialized form so every pre-existing
         2-D spec keeps a byte-identical cache key.
+    topology:
+        Canonical switched-fabric string (``"fattree:k=8"``,
+        ``"leafspine:40x16"``, ``"dragonfly:9x4x2"`` -- see
+        :func:`repro.mesh.clos.build_topology`).  ``None`` (every mesh
+        spec) is omitted from the serialized form, so mesh cache keys are
+        byte-identical to the pre-topology era.  Mesh strings passed here
+        normalise into ``mesh_shape`` / ``torus`` instead, so one axis can
+        mix meshes and fabrics.
     pattern:
         Registry name of the communication pattern (or the engine's
         ``"mixed(a2a+nbody)"`` sentinel for the hybrid-workload mix).
@@ -102,6 +113,7 @@ class ExperimentSpec:
     scheduler: str = "fcfs"
     torus: bool = False
     trace_ref: str | None = None
+    topology: str | None = None
 
     def __post_init__(self) -> None:
         # Normalise list inputs so hashing/equality always work.  Trace
@@ -109,13 +121,28 @@ class ExperimentSpec:
         # inline form, the store's canonical form, and the cache key all
         # agree byte-for-byte.
         object.__setattr__(self, "mesh_shape", tuple(self.mesh_shape))
+        if self.topology is not None:
+            # Canonicalise the string (so "fattree:8" and "fattree:k=8"
+            # share one cache key) and derive the serialisable shape.
+            topo = _build_topology(self.topology)
+            if getattr(topo, "is_mesh", True):
+                # Mesh strings normalise into mesh_shape/torus so mesh
+                # cells of a topology axis stay byte-identical to their
+                # pre-topology-era specs.
+                object.__setattr__(self, "topology", None)
+                object.__setattr__(self, "mesh_shape", tuple(topo.shape))
+                object.__setattr__(self, "torus", topo.torus)
+            else:
+                object.__setattr__(self, "topology", topology_label(topo))
+                object.__setattr__(self, "mesh_shape", tuple(topo.shape))
+                object.__setattr__(self, "torus", False)
         if self.trace is not None:
             object.__setattr__(self, "trace", canonical_trace(self.trace))
         if self.network is not None:
             object.__setattr__(
                 self, "network", tuple(tuple(kv) for kv in self.network)
             )
-        if len(self.mesh_shape) not in (2, 3):
+        if self.topology is None and len(self.mesh_shape) not in (2, 3):
             raise ValueError(
                 f"mesh_shape must be (w, h) or (w, h, d), got {self.mesh_shape!r}"
             )
@@ -173,6 +200,29 @@ class ExperimentSpec:
             )
         n_nodes = math.prod(self.mesh_shape)
         return apply_load_factor(drop_oversized(base, n_nodes), self.load)
+
+    # -- machine construction ------------------------------------------
+    def build_machine_topology(self) -> Topology:
+        """The machine topology this cell runs on.
+
+        The single deserialisation point for workers and the engine:
+        ``topology`` strings build Clos fabrics
+        (:func:`repro.mesh.clos.build_topology`), everything else is a
+        mesh from ``mesh_shape`` / ``torus``.
+
+        >>> spec = ExperimentSpec(mesh_shape=(8, 8), pattern="ring",
+        ...                       allocator="mc", load=1.0, seed=1, n_jobs=10)
+        >>> type(spec.build_machine_topology()).__name__
+        'Mesh2D'
+        >>> clos = ExperimentSpec(mesh_shape=(), pattern="ring",
+        ...                       allocator="random", load=1.0, seed=1,
+        ...                       n_jobs=10, topology="fattree:8")
+        >>> clos.topology, clos.mesh_shape
+        ('fattree:k=8', (128,))
+        """
+        if self.topology is not None:
+            return _build_topology(self.topology)
+        return mesh_from_shape(self.mesh_shape, torus=self.torus)
 
     # -- trace interning -----------------------------------------------
     def intern(self, store: TraceStore) -> "ExperimentSpec":
@@ -254,6 +304,8 @@ class ExperimentSpec:
             out["torus"] = True
         if self.trace_ref is not None:
             out["trace_ref"] = self.trace_ref
+        if self.topology is not None:
+            out["topology"] = self.topology
         return out
 
     @classmethod
@@ -276,6 +328,7 @@ class ExperimentSpec:
             scheduler=data.get("scheduler", "fcfs"),
             torus=data.get("torus", False),
             trace_ref=data.get("trace_ref"),
+            topology=data.get("topology"),
         )
 
     def cache_key(self, store: TraceStore | None = None) -> str:

@@ -30,7 +30,7 @@ from repro.core.base import Request
 from repro.core.metrics import average_pairwise_hops, components
 from repro.mesh.machine import Machine
 from repro.network.fluid import max_min_rates
-from repro.network.links import LinkSpace
+from repro.network.links import link_space_for
 from repro.network.traffic import build_load_vector, mean_message_hops
 from repro.sched.fcfs import FCFSQueue
 from repro.sched.job import Job, JobResult
@@ -51,7 +51,10 @@ class _LoopFluidNetwork:
     def __init__(self, mesh, params):
         self.mesh = mesh
         self.params = params
-        self.space = LinkSpace.for_mesh(mesh)
+        # Dispatched (not LinkSpace.for_mesh) so the reference engine sees
+        # the same link space as the vectorised core on Clos topologies;
+        # on meshes this is the identical cached object as before.
+        self.space = link_space_for(mesh)
         cap = params.effective_link_capacity
         if not np.isfinite(cap):
             cap = 1e12

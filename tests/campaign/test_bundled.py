@@ -34,10 +34,12 @@ def _bundled(name):
 class TestBundledInventory:
     def test_expected_campaigns_ship(self):
         names = bundled_campaign_names()
-        for expected in ("fig07", "fig12", "figswf", "multishape", "smoke"):
+        for expected in ("clos", "fig07", "fig12", "figswf", "multishape", "smoke"):
             assert expected in names
 
-    @pytest.mark.parametrize("name", ["fig07", "fig12", "figswf", "multishape", "smoke"])
+    @pytest.mark.parametrize(
+        "name", ["clos", "fig07", "fig12", "figswf", "multishape", "smoke"]
+    )
     def test_every_bundled_campaign_loads_and_expands(self, name):
         expansion = expand(_bundled(name))
         assert expansion.cells

@@ -1,0 +1,185 @@
+"""The ``topology`` campaign axis and the bundled ``clos`` campaign.
+
+Covers the axis end to end: model validation (exactly one machine axis,
+Clos allocators recognised, bad strings rejected), expansion
+(allocator x fabric compatibility, coordinate labels, the spec's
+``topology`` field), the bundled campaign's cold run / warm resume /
+report pipeline, and the metric-vs-axis collision guard in the report
+exporters.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import (
+    bundled_campaign_path,
+    expand,
+    load_campaign,
+    loads_campaign,
+    run_campaign,
+)
+from repro.campaign.model import CampaignError, parse_topology
+from repro.campaign.report import (
+    export_report,
+    format_campaign_report,
+)
+from repro.runner import ResultCache
+
+BASE = """
+[campaign]
+name = "topo-test"
+
+[defaults]
+seed = 1
+n_jobs = 8
+runtime_scale = 0.01
+
+[axes]
+topology = [{topologies}]
+pattern = ["ring"]
+load = [1.0]
+allocator = [{allocators}]
+{extra}
+"""
+
+
+def _campaign(topologies, allocators, extra=""):
+    return loads_campaign(
+        BASE.format(
+            topologies=", ".join(f'"{t}"' for t in topologies),
+            allocators=", ".join(f'"{a}"' for a in allocators),
+            extra=extra,
+        )
+    )
+
+
+class TestModel:
+    def test_topology_substitutes_for_mesh(self):
+        campaign = _campaign(["16x22", "fattree:k=4"], ["random"])
+        assert "mesh" not in campaign.axes
+        assert [v.label for v in campaign.axes["topology"]] == [
+            "16x22", "fattree:k=4",
+        ]
+
+    def test_both_machine_axes_rejected(self):
+        campaign = _campaign(["fattree:k=4"], ["random"])
+        campaign.axes["mesh"] = campaign.axes["topology"]
+        with pytest.raises(CampaignError, match="both 'mesh' and 'topology'"):
+            campaign.validate()
+
+    def test_clos_allocators_are_known(self):
+        campaign = _campaign(
+            ["fattree:k=4"], ["rack-aware", "pod-local", "oversub-aware"]
+        )
+        assert len(campaign.axes["allocator"]) == 3
+
+    def test_unknown_allocator_still_rejected(self):
+        with pytest.raises(CampaignError, match="unknown allocator"):
+            _campaign(["fattree:k=4"], ["leftmost-fit"])
+
+    def test_bad_topology_string_rejected(self):
+        with pytest.raises(CampaignError, match="bad topology"):
+            _campaign(["fattree:k=7"], ["random"])
+        with pytest.raises(CampaignError, match="bad topology"):
+            parse_topology({"k": 8})
+
+    def test_canonical_labels(self):
+        assert parse_topology("FatTree:8").label == "fattree:k=8"
+        assert parse_topology("8x8x8t").label == "8x8x8t"
+        assert parse_topology("fattree:k=8").n_nodes == 128
+
+
+class TestExpansion:
+    def test_coords_use_the_topology_axis(self):
+        expansion = expand(_campaign(["16x22", "fattree:k=4"], ["random"]))
+        assert [c.coords["topology"] for c in expansion.cells] == [
+            "16x22", "fattree:k=4",
+        ]
+        specs = {c.coords["topology"]: c.spec for c in expansion.cells}
+        assert specs["16x22"].topology is None
+        assert specs["16x22"].mesh_shape == (16, 22)
+        assert specs["fattree:k=4"].topology == "fattree:k=4"
+
+    def test_mesh_only_allocator_on_fabric_rejected(self):
+        with pytest.raises(CampaignError, match="switched fabric"):
+            expand(_campaign(["fattree:k=4"], ["mc"]))
+
+    def test_clos_only_allocator_on_mesh_rejected(self):
+        with pytest.raises(CampaignError, match="needs a switched fabric"):
+            expand(_campaign(["16x22"], ["rack-aware"]))
+
+    def test_excludes_resolve_the_incompatibility(self):
+        extra = """
+[[exclude]]
+topology = "fattree:k=4"
+allocator = "mc"
+
+[[exclude]]
+topology = "16x22"
+allocator = "rack-aware"
+"""
+        expansion = expand(
+            _campaign(["16x22", "fattree:k=4"], ["mc", "random", "rack-aware"], extra)
+        )
+        pairs = {(c.coords["topology"], c.coords["allocator"]) for c in expansion.cells}
+        assert pairs == {
+            ("16x22", "mc"), ("16x22", "random"),
+            ("fattree:k=4", "random"), ("fattree:k=4", "rack-aware"),
+        }
+
+
+class TestBundledClosCampaign:
+    def test_ships_and_expands(self):
+        expansion = expand(load_campaign(bundled_campaign_path("clos")))
+        machines = {c.coords["topology"] for c in expansion.cells}
+        assert machines == {"16x22", "fattree:k=8", "leafspine:40x16"}
+        # random is the only allocator present on every machine
+        for machine in machines:
+            allocs = {
+                c.coords["allocator"] for c in expansion.select(topology=machine)
+            }
+            assert "random" in allocs
+
+    def test_cold_run_warm_resume_and_report(self, tmp_path):
+        campaign = load_campaign(bundled_campaign_path("clos"))
+        cache = ResultCache(tmp_path / "cache")
+        cold = run_campaign(campaign, cache=cache)
+        assert cold.misses == len(cold.expansion.cells)
+        warm = run_campaign(campaign, cache=cache)
+        assert warm.hits == len(warm.expansion.cells)  # 100% resume
+        assert warm.misses == 0
+        report = format_campaign_report(
+            warm.expansion, cache, group_by="topology"
+        )
+        assert "contiguity check" in report
+        for machine in ("16x22", "fattree:k=8", "leafspine:40x16"):
+            assert machine in report
+
+
+class TestMetricAxisCollision:
+    def _completed(self, tmp_path):
+        campaign = _campaign(["fattree:k=4"], ["random"])
+        cache = ResultCache(tmp_path / "cache")
+        run = run_campaign(campaign, cache=cache)
+        return run.expansion, cache
+
+    def test_csv_rejects_colliding_metric(self, tmp_path):
+        expansion, cache = self._completed(tmp_path)
+        # RunSummary has an 'allocator' field, and 'allocator' is an axis:
+        # exporting it would duplicate the CSV column / overwrite coords.
+        with pytest.raises(ValueError, match="collides"):
+            export_report(expansion, cache, metric="allocator", fmt="csv")
+        with pytest.raises(ValueError, match="collides"):
+            export_report(expansion, cache, metric="allocator", fmt="json")
+        with pytest.raises(ValueError, match="collides"):
+            format_campaign_report(
+                expansion, cache, group_by="topology", metric="allocator"
+            )
+
+    def test_non_colliding_metrics_still_export(self, tmp_path):
+        expansion, cache = self._completed(tmp_path)
+        csv_text = export_report(expansion, cache, metric="makespan", fmt="csv")
+        header = csv_text.splitlines()[0].split(",")
+        assert header == ["topology", "pattern", "load", "allocator", "makespan"]
+        assert len(header) == len(set(header))

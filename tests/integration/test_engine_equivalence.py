@@ -13,6 +13,7 @@ the refactor would diverge.
 import pytest
 
 from repro.core.registry import make_allocator
+from repro.mesh.clos import Dragonfly, FatTree, LeafSpine
 from repro.mesh.topology import Mesh2D, Mesh3D
 from repro.patterns.base import get_pattern
 from repro.sched.job import Job
@@ -54,6 +55,12 @@ COMBOS = [
     pytest.param(Mesh2D(16, 16), "contiguous", "random", "fcfs", id="2d-contig-random"),
     pytest.param(Mesh2D(8, 8), "gen-alg", "cplant-test-suite", "fcfs", id="2d-cplant"),
     pytest.param(Mesh2D(8, 8), "mc", "all-to-all", "easy", id="2d-mc-easy"),
+    # Switched fabrics route through GraphLinkSpace in both engines.
+    pytest.param(FatTree(4), "rack-aware", "all-to-all", "fcfs", id="fattree-rack"),
+    pytest.param(LeafSpine(6, 3), "pod-local", "ring", "easy", id="leafspine-pod"),
+    pytest.param(
+        Dragonfly(5, 3, 2), "random", "n-body", "fcfs", id="dragonfly-random"
+    ),
 ]
 
 
