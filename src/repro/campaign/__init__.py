@@ -10,7 +10,10 @@ content digest, workloads interned into the content-addressed store);
 :func:`run_campaign` executes them on the parallel engine with a
 **manifest** next to the cache that makes interrupted campaigns resume
 warm; and the report helpers aggregate completed cells into comparison
-tables grouped by any axis.
+tables grouped by any axis.  :func:`drain_campaign` lets N runner
+processes sharing a cache root drain one campaign cooperatively through
+the lease/claim protocol (:mod:`repro.campaign.lease`) -- the ``drain``
+CLI verb, with ``--runners N`` spawning a local fleet.
 
 The bundled campaign files under ``repro/campaign/data/`` reproduce the
 fig07 / fig12 / figswf panels (the figure drivers are now thin shims over
@@ -23,6 +26,7 @@ them) plus a multi-shape panel no hand-written driver covers.  CLI::
 """
 
 from repro.campaign.expand import CampaignCell, Expansion, SourceInfo, cell_digest, expand
+from repro.campaign.lease import DEFAULT_LEASE_TTL, FileLock, Lease, LeaseDir, lease_dir_path
 from repro.campaign.manifest import CampaignManifest, manifest_path
 from repro.campaign.model import (
     Campaign,
@@ -44,15 +48,26 @@ from repro.campaign.report import (
     format_campaign_status,
     format_expansion,
 )
-from repro.campaign.runner import CampaignRun, prune_campaign, run_campaign
+from repro.campaign.runner import (
+    CampaignDrain,
+    CampaignRun,
+    drain_campaign,
+    prune_campaign,
+    run_campaign,
+)
 
 __all__ = [
     "Campaign",
     "CampaignCell",
+    "CampaignDrain",
     "CampaignError",
     "CampaignManifest",
     "CampaignRun",
+    "DEFAULT_LEASE_TTL",
     "Expansion",
+    "FileLock",
+    "Lease",
+    "LeaseDir",
     "MeshAxis",
     "REPORT_FORMATS",
     "SourceInfo",
@@ -62,11 +77,13 @@ __all__ = [
     "cell_digest",
     "completed_cells",
     "completed_rows",
+    "drain_campaign",
     "expand",
     "export_report",
     "format_campaign_report",
     "format_campaign_status",
     "format_expansion",
+    "lease_dir_path",
     "load_campaign",
     "loads_campaign",
     "manifest_path",

@@ -6,6 +6,8 @@
     python -m repro.campaign run CAMPAIGN --jobs 4      # execute (resumable)
     python -m repro.campaign run CAMPAIGN --limit 10    # next 10 pending cells
     python -m repro.campaign run CAMPAIGN --tier process+shm
+    python -m repro.campaign drain CAMPAIGN --runners 2 # cooperative fleet
+    python -m repro.campaign drain CAMPAIGN             # join an ongoing drain
     python -m repro.campaign status CAMPAIGN            # manifest counts
     python -m repro.campaign report CAMPAIGN --group-by mesh
     python -m repro.campaign report CAMPAIGN --format json > cells.json
@@ -22,7 +24,12 @@ warm.
 ``--tier`` picks the engine's execution tier (default ``auto``: tiny
 pending grids run in-process, big ones fan out over workers, with the
 shared trace segment whenever ref workloads benefit); results and
-artifacts are identical for every tier.  ``report --format json|csv``
+artifacts are identical for every tier.  ``drain`` is the cooperative
+mode: every ``drain`` process pointed at the same campaign and cache
+root claims pending cells through per-cell lease files (no duplicated
+compute, dead runners' leases stolen after a TTL), so a fleet finishes
+one campaign together -- ``--runners N`` spawns such a fleet locally.
+``report --format json|csv``
 exports the completed cells for notebooks; ``prune`` deletes a
 campaign's artifacts and manifest in one step (``--dry-run`` first).
 See ``docs/campaign-format.md`` for the complete file-format reference.
@@ -49,7 +56,8 @@ from repro.campaign.report import (
     format_campaign_status,
     format_expansion,
 )
-from repro.campaign.runner import prune_campaign, run_campaign
+from repro.campaign.lease import DEFAULT_LEASE_TTL
+from repro.campaign.runner import drain_campaign, prune_campaign, run_campaign
 from repro.runner import ResultCache
 from repro.runner.engine import TIERS
 
@@ -93,11 +101,11 @@ def _expand(args) -> int:
     return 0
 
 
-def _run(args) -> int:
-    campaign, cache = _open(args)
+def _cell_progress(quiet: bool):
+    """Per-cell progress printer shared by ``run`` and ``drain``."""
 
     def progress(done: int, total: int, cell) -> None:
-        if not args.quiet:
+        if not quiet:
             tag = "cache" if cell.cached else f"{cell.elapsed:.2f}s"
             print(
                 f"[{done}/{total}] {cell.summary.pattern} | "
@@ -105,6 +113,13 @@ def _run(args) -> int:
                 f"{cell.summary.allocator} @ {cell.summary.load_factor:g} ({tag})",
                 flush=True,
             )
+
+    return progress
+
+
+def _run(args) -> int:
+    campaign, cache = _open(args)
+    progress = _cell_progress(args.quiet)
 
     run = run_campaign(
         campaign,
@@ -120,6 +135,88 @@ def _run(args) -> int:
     if cache is not None:
         print(cache.stats_line())
     return 0
+
+
+def _drain(args) -> int:
+    if args.runners > 1:
+        return _drain_fleet(args)
+    campaign, cache = _open(args)
+    drain = drain_campaign(
+        campaign,
+        cache=cache,
+        runner=args.runner_id,
+        jobs=args.jobs,
+        batch=args.batch,
+        lease_ttl=args.lease_ttl,
+        progress=_cell_progress(args.quiet),
+        tier=args.tier,
+    )
+    print(drain.summary_line())
+    if drain.tier_decisions:
+        print(f"[tier] {drain.tier_decisions[0].describe()}")
+    print(cache.stats_line())
+    return 0
+
+
+def _drain_fleet(args) -> int:
+    """Spawn ``--runners N`` cooperating drain processes and supervise.
+
+    Each child is this very CLI with ``--runners 1`` and a derived
+    ``--runner-id``; the children coordinate purely through the shared
+    cache root, exactly as runners on separate hosts would.  The parent
+    waits for all of them, then reports the merged manifest state plus a
+    duplicate-compute count (cells computed more than once -- zero under
+    the lease protocol short of lease-TTL steals racing a live runner).
+    """
+    import os
+    import socket
+    import subprocess
+
+    base = args.runner_id or f"{socket.gethostname()}-{os.getpid()}"
+    common = [
+        sys.executable,
+        "-m",
+        "repro.campaign",
+        "drain",
+        args.campaign,
+        "--runners",
+        "1",
+        "--jobs",
+        str(args.jobs),
+        "--batch",
+        str(args.batch),
+        "--lease-ttl",
+        str(args.lease_ttl),
+    ]
+    if args.cache_dir is not None:
+        common += ["--cache-dir", args.cache_dir]
+    if args.tier is not None:
+        common += ["--tier", args.tier]
+    if args.quiet:
+        common += ["--quiet"]
+    procs = [
+        subprocess.Popen(common + ["--runner-id", f"{base}-r{i}"])
+        for i in range(args.runners)
+    ]
+    codes = [p.wait() for p in procs]
+
+    campaign, cache = _open(args)
+    expansion = expand(campaign, store=cache.traces)
+    manifest = _manifest_for(campaign, expansion, cache)
+    counts = manifest.counts([c.digest for c in expansion.cells])
+    fleet = {f"{base}-r{i}" for i in range(args.runners)}
+    fleet_misses = sum(
+        rec.get("misses", 0)
+        for rec in manifest.runs
+        if rec.get("mode") == "drain" and rec.get("runner") in fleet
+    )
+    duplicates = max(0, fleet_misses - counts["computed"])
+    print(
+        f"fleet of {args.runners} runners: {counts['done']}/{counts['total']} "
+        f"cells done ({counts['computed']} computed, {counts['cached']} cached); "
+        f"fleet computed {fleet_misses} cells, duplicates={duplicates}"
+    )
+    return max(codes, default=0)
 
 
 def _status(args) -> int:
@@ -228,7 +325,11 @@ def main(argv: list[str] | None = None) -> int:
     p_run = sub.add_parser("run", help="run the campaign (resumes from the manifest)")
     add_common(p_run)
     p_run.add_argument(
-        "--jobs", type=int, default=1, help="worker processes (default: 1 = serial)"
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (default: auto-tuned from usable CPUs and "
+        "the manifest's recorded cell cost; 1 = serial)",
     )
     p_run.add_argument(
         "--limit",
@@ -251,6 +352,60 @@ def main(argv: list[str] | None = None) -> int:
         choices=TIERS,
         help="execution tier (default: the campaign file's tier, else "
         "'auto'); results are identical for every tier",
+    )
+
+    p_drain = sub.add_parser(
+        "drain",
+        help="cooperatively drain the campaign (N runners, one cache root, "
+        "no duplicated compute)",
+    )
+    add_common(p_drain)
+    p_drain.add_argument(
+        "--runners",
+        type=int,
+        default=1,
+        metavar="N",
+        help="spawn N cooperating local runner processes (default: 1 = "
+        "join the drain as a single runner)",
+    )
+    p_drain.add_argument(
+        "--runner-id",
+        default=None,
+        help="stable runner identifier for leases and the manifest "
+        "(default: <host>-<pid>; with --runners N the fleet derives "
+        "<id>-r0..rN-1)",
+    )
+    p_drain.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="engine worker processes per runner (default: 1 -- the "
+        "runners themselves are the parallelism)",
+    )
+    p_drain.add_argument(
+        "--batch",
+        type=int,
+        default=8,
+        metavar="N",
+        help="cells claimed per lease batch (default: 8)",
+    )
+    p_drain.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=DEFAULT_LEASE_TTL,
+        metavar="SECONDS",
+        help="seconds without heartbeats before a runner's leases can be "
+        f"stolen (default: {DEFAULT_LEASE_TTL:g})",
+    )
+    p_drain.add_argument(
+        "--quiet", action="store_true", help="suppress per-cell progress lines"
+    )
+    p_drain.add_argument(
+        "--tier",
+        default=None,
+        choices=TIERS,
+        help="execution tier per batch (default: the campaign file's "
+        "tier, else 'auto')",
     )
 
     p_status = sub.add_parser("status", help="completion counts from the manifest")
@@ -299,12 +454,24 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     args = parser.parse_args(argv)
-    if args.command == "run" and args.jobs < 1:
+    if args.command in ("run", "drain") and args.jobs is not None and args.jobs < 1:
         print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
         return 2
+    if args.command == "drain":
+        for flag, value, floor in (
+            ("--runners", args.runners, 1),
+            ("--batch", args.batch, 1),
+        ):
+            if value < floor:
+                print(f"{flag} must be >= {floor}, got {value}", file=sys.stderr)
+                return 2
+        if args.lease_ttl <= 0:
+            print(f"--lease-ttl must be > 0, got {args.lease_ttl:g}", file=sys.stderr)
+            return 2
     handler = {
         "expand": _expand,
         "run": _run,
+        "drain": _drain,
         "status": _status,
         "report": _report,
         "prune": _prune,

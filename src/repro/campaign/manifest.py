@@ -14,12 +14,25 @@ The filename carries the first 12 hex chars of the campaign digest, so
 editing a campaign (or re-scaling it) starts a fresh manifest instead of
 silently mixing state from two different cell grids; the full digest is
 also stored inside and verified on load.
+
+**Concurrency.**  One manifest file may be flushed by several processes
+at once -- cooperating ``drain`` runners, or simply two ``run``
+invocations racing.  :meth:`CampaignManifest.flush` is therefore a
+read-merge-write under a lock file (:class:`~repro.campaign.lease.FileLock`):
+the on-disk state is re-read inside the lock, merged cell-by-cell
+(:meth:`CampaignManifest.merge` -- a computed record always beats a
+cache-hit record, run history is unioned, runner heartbeats keep the
+freshest timestamp), and the result lands via temp file +
+:func:`os.replace`.  No runner's completions can clobber another's, and
+a crash at any instant leaves either the old or the new file -- never a
+torn one.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import socket
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -38,6 +51,23 @@ def manifest_path(cache_root: str | Path, name: str, digest: str) -> Path:
     return Path(cache_root) / MANIFEST_DIRNAME / f"{name}-{digest[:12]}.json"
 
 
+def _prefer(new: dict, old: dict) -> bool:
+    """Whether ``new`` should replace ``old`` when merging cell records.
+
+    Same precedence :meth:`CampaignManifest.mark_done` applies in
+    memory: a done record beats anything else, a computed record beats a
+    cache hit (its ``elapsed`` is real), and between equals the earlier
+    ``finished_at`` -- the original completion -- wins.
+    """
+    if not isinstance(new, dict):
+        return False
+    if (new.get("status") == "done") != (old.get("status") == "done"):
+        return new.get("status") == "done"
+    if new.get("cached", True) != old.get("cached", True):
+        return not new.get("cached", True)
+    return new.get("finished_at", 0.0) < old.get("finished_at", 0.0)
+
+
 @dataclass
 class CampaignManifest:
     """Mutable completion record of one expanded campaign.
@@ -51,8 +81,12 @@ class CampaignManifest:
     path: Path | None = None
     cells: dict = field(default_factory=dict)  # cell digest -> record dict
     runs: list = field(default_factory=list)
+    runners: dict = field(default_factory=dict)  # runner id -> heartbeat record
     created_at: float = 0.0
     updated_at: float = 0.0
+    #: mtime_ns of the on-disk file as of our last read or write; lets
+    #: :meth:`flush` skip the merge read-back when nobody else wrote.
+    _disk_mtime_ns: int | None = None
 
     # -- load/store ----------------------------------------------------
     @classmethod
@@ -73,6 +107,7 @@ class CampaignManifest:
             return manifest
         try:
             data = json.loads(Path(path).read_text())
+            mtime_ns = Path(path).stat().st_mtime_ns
         except (OSError, json.JSONDecodeError):
             return manifest
         if (
@@ -83,12 +118,14 @@ class CampaignManifest:
             return manifest
         manifest.cells = dict(data.get("cells", {}))
         manifest.runs = list(data.get("runs", []))
+        manifest.runners = dict(data.get("runners", {}))
         manifest.created_at = data.get("created_at", manifest.created_at)
         manifest.updated_at = data.get("updated_at", 0.0)
+        manifest._disk_mtime_ns = mtime_ns
         return manifest
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "format": MANIFEST_FORMAT,
             "name": self.name,
             "campaign_digest": self.campaign_digest,
@@ -97,32 +134,146 @@ class CampaignManifest:
             "cells": self.cells,
             "runs": self.runs,
         }
+        # Written only once a runner has heartbeated, so single-process
+        # manifests keep their exact pre-drain shape.
+        if self.runners:
+            data["runners"] = self.runners
+        return data
+
+    def merge(self, data: dict) -> None:
+        """Fold another snapshot of this manifest into this one.
+
+        The merge rules mirror :meth:`mark_done`: per cell, a *computed*
+        record always beats a cache-hit record, and between two records
+        of the same kind the earlier ``finished_at`` (the original) is
+        kept.  Run history is unioned (exact-duplicate records -- our
+        own, read back from disk -- collapse), ordered by start time;
+        runner heartbeats keep the freshest timestamp per runner.  Used
+        by :meth:`flush` against the on-disk state and by bundle import
+        against a bundled manifest.
+        """
+        if not isinstance(data, dict):
+            return
+        for digest, rec in (data.get("cells") or {}).items():
+            mine = self.cells.get(digest)
+            if mine is None or _prefer(rec, mine):
+                self.cells[digest] = rec
+        merged = list(self.runs)
+        for rec in data.get("runs") or []:
+            if rec not in merged:
+                merged.append(rec)
+        merged.sort(key=lambda rec: rec.get("started_at", 0.0))
+        self.runs = merged
+        for runner, rec in (data.get("runners") or {}).items():
+            mine = self.runners.get(runner)
+            if mine is None or rec.get("heartbeat_at", 0.0) > mine.get(
+                "heartbeat_at", 0.0
+            ):
+                self.runners[runner] = rec
+
+    def refresh(self) -> None:
+        """Merge the current on-disk state into this manifest (read-only).
+
+        What a drain runner's poll loop calls between batches: other
+        runners' completions become visible without writing anything.
+        Skipped when the file's mtime shows nobody wrote since our last
+        read or write; invalid/foreign files are ignored, exactly as in
+        :meth:`open`.
+        """
+        if self.path is None or not self.path.is_file():
+            return
+        try:
+            mtime_ns = self.path.stat().st_mtime_ns
+            if mtime_ns == self._disk_mtime_ns:
+                return
+            data = json.loads(self.path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return
+        if (
+            isinstance(data, dict)
+            and data.get("format") == MANIFEST_FORMAT
+            and data.get("campaign_digest") == self.campaign_digest
+        ):
+            self.merge(data)
+            self._disk_mtime_ns = mtime_ns
 
     def flush(self) -> None:
-        """Atomically persist (no-op for in-memory manifests)."""
+        """Concurrency-safely persist (no-op for in-memory manifests).
+
+        Under the manifest's lock file: re-read whatever is on disk
+        (skipped when the file's mtime proves we were the last writer),
+        :meth:`merge` it, then write through a temp file +
+        :func:`os.replace`.  Concurrent runners flushing disjoint cells
+        therefore both land, and readers never observe a torn file.
+        """
         if self.path is None:
             return
+        from repro.campaign.lease import FileLock
+
         self.updated_at = time.time()
         self.path.parent.mkdir(parents=True, exist_ok=True)
         tmp = self.path.parent / f"{self.path.name}.tmp{os.getpid()}"
-        tmp.write_text(json.dumps(self.to_dict(), sort_keys=True))
-        os.replace(tmp, self.path)
+        with FileLock(self.path.with_name(self.path.name + ".lock")):
+            try:
+                disk_mtime_ns = self.path.stat().st_mtime_ns
+            except OSError:
+                disk_mtime_ns = None
+            if disk_mtime_ns is not None and disk_mtime_ns != self._disk_mtime_ns:
+                try:
+                    data = json.loads(self.path.read_text())
+                except (OSError, json.JSONDecodeError):
+                    data = None
+                if (
+                    isinstance(data, dict)
+                    and data.get("format") == MANIFEST_FORMAT
+                    and data.get("campaign_digest") == self.campaign_digest
+                ):
+                    self.merge(data)
+            tmp.write_text(json.dumps(self.to_dict(), sort_keys=True))
+            # The rename preserves the temp file's mtime, so stat it
+            # *before* the replace: if someone overwrites us later, the
+            # next flush sees a foreign mtime and merges.
+            self._disk_mtime_ns = tmp.stat().st_mtime_ns
+            os.replace(tmp, self.path)
 
     # -- cell state ----------------------------------------------------
+    def heartbeat(self, runner: str) -> None:
+        """Record (in memory) that ``runner`` is alive right now.
+
+        Lands on disk with the next :meth:`flush`; merged across
+        processes by freshest timestamp.  This is observability for
+        ``status`` -- liveness for the claim protocol itself lives in
+        the lease files (:mod:`repro.campaign.lease`), which expire
+        per-cell.
+        """
+        self.runners[str(runner)] = {
+            "heartbeat_at": time.time(),
+            "pid": os.getpid(),
+            "host": socket.gethostname(),
+        }
+
     def is_done(self, digest: str) -> bool:
         return self.cells.get(digest, {}).get("status") == "done"
 
     def done_digests(self) -> set[str]:
         return {d for d, rec in self.cells.items() if rec.get("status") == "done"}
 
-    def mark_done(self, digest: str, coords: dict, cached: bool, elapsed: float) -> None:
+    def mark_done(
+        self,
+        digest: str,
+        coords: dict,
+        cached: bool,
+        elapsed: float,
+        runner: str | None = None,
+    ) -> None:
         """Record a completed cell.
 
         A cache hit for a cell this manifest already saw *computed* adds
         no information, so the original compute record (its real
         ``elapsed``) is preserved -- warm re-runs must not erase the
         timings :meth:`mean_compute_seconds` calibrates the engine's
-        ``auto`` tier with.
+        ``auto`` tier with.  ``runner`` tags the record in drain mode so
+        a multi-runner campaign shows who computed what.
         """
         prior = self.cells.get(digest)
         if (
@@ -132,13 +283,16 @@ class CampaignManifest:
             and not prior.get("cached", True)
         ):
             return
-        self.cells[digest] = {
+        record = {
             "status": "done",
             "coords": coords,
             "cached": bool(cached),
             "elapsed": float(elapsed),
             "finished_at": time.time(),
         }
+        if runner is not None:
+            record["runner"] = str(runner)
+        self.cells[digest] = record
 
     def record_run(
         self,
@@ -148,8 +302,14 @@ class CampaignManifest:
         n_selected: int,
         limit: int | None,
         tier: str | None = None,
+        runner: str | None = None,
+        mode: str | None = None,
     ) -> None:
-        """Append one ``run`` invocation's wall/cache/tier accounting."""
+        """Append one ``run``/``drain`` invocation's accounting.
+
+        ``runner`` and ``mode`` (``"drain"``) are recorded only when
+        given, keeping plain ``run`` records in their original shape.
+        """
         record = {
             "started_at": time.time() - wall,
             "wall": float(wall),
@@ -160,6 +320,10 @@ class CampaignManifest:
         }
         if tier is not None:
             record["tier"] = tier
+        if runner is not None:
+            record["runner"] = str(runner)
+        if mode is not None:
+            record["mode"] = mode
         self.runs.append(record)
 
     def mean_compute_seconds(self) -> float | None:

@@ -70,21 +70,36 @@ def format_campaign_status(expansion: Expansion, manifest: CampaignManifest) -> 
         ),
     ]
     if manifest.runs:
-        run_rows = [
-            {
+        # The runner column only appears once a drain has touched the
+        # campaign, keeping single-process status output in its
+        # original shape.
+        has_runner = any(rec.get("runner") for rec in manifest.runs)
+        run_rows = []
+        for i, rec in enumerate(manifest.runs):
+            row = {
                 "run": i + 1,
                 "cells": rec.get("n_selected", 0),
                 "hits": rec.get("hits", 0),
                 "misses": rec.get("misses", 0),
                 "wall s": rec.get("wall", 0.0),
                 "tier": rec.get("tier", ""),
-                "limit": rec.get("limit") if rec.get("limit") is not None else "",
             }
-            for i, rec in enumerate(manifest.runs)
-        ]
+            if has_runner:
+                row["runner"] = rec.get("runner", "")
+            row["limit"] = rec.get("limit") if rec.get("limit") is not None else ""
+            run_rows.append(row)
         lines.append(format_table(run_rows, float_fmt=".2f", title="run history"))
     else:
         lines.append("never run (no manifest entries)")
+    if manifest.runners:
+        import time as _time
+
+        now = _time.time()
+        beats = ", ".join(
+            f"{rid} ({max(0.0, now - rec.get('heartbeat_at', 0.0)):.0f}s ago)"
+            for rid, rec in sorted(manifest.runners.items())
+        )
+        lines.append(f"runners: {beats}")
     pending = [c for c in expansion.cells if not manifest.is_done(c.digest)]
     if pending:
         preview = ", ".join(str(dict(c.coords)) for c in pending[:3])

@@ -10,6 +10,12 @@ campaign turns every previously completed cell into a cache hit, and the
 manifest is what makes that state *visible* (``status``) without opening
 a single artifact.
 
+:func:`drain_campaign` is the cooperative counterpart: N runner
+processes pointed at one cache root partition the pending cells through
+the lease/claim protocol (:mod:`repro.campaign.lease`) and drain the
+campaign together with no duplicated compute -- the fleet-scale mode the
+``drain`` CLI verb exposes.
+
 :meth:`CampaignRun.sweep_results` regroups cells into the
 :class:`~repro.experiments.sweep.SweepResult` panels the existing report
 helpers consume, which is how the ported fig07/fig12/figswf drivers stay
@@ -18,17 +24,29 @@ byte-identical to their hand-written predecessors.
 
 from __future__ import annotations
 
+import os
+import socket
+import tempfile
+import threading
 import time
 from collections.abc import Callable
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.campaign.expand import CampaignCell, Expansion, cell_digest, expand
+from repro.campaign.lease import DEFAULT_LEASE_TTL, LeaseDir, lease_dir_path
 from repro.campaign.manifest import CampaignManifest, manifest_path
 from repro.campaign.model import Campaign
 from repro.runner import CellResult, ResultCache, TierDecision, run_many
 
-__all__ = ["CampaignRun", "run_campaign", "group_sweep_results", "prune_campaign"]
+__all__ = [
+    "CampaignRun",
+    "CampaignDrain",
+    "run_campaign",
+    "drain_campaign",
+    "group_sweep_results",
+    "prune_campaign",
+]
 
 
 def group_sweep_results(pairs) -> dict:
@@ -116,7 +134,7 @@ def _artifact_exists(cache: ResultCache | None, cell: CampaignCell) -> bool:
 def run_campaign(
     campaign: Campaign,
     cache: ResultCache | None = None,
-    jobs: int = 1,
+    jobs: int | None = 1,
     limit: int | None = None,
     progress: Callable[[int, int, CellResult], None] | None = None,
     tier: str | None = None,
@@ -133,7 +151,9 @@ def run_campaign(
         ``None`` runs without persistence (in-memory manifest, inline
         traces) -- same results, nothing to resume.
     jobs:
-        Worker processes for the engine fan-out.
+        Worker processes for the engine fan-out; ``None`` auto-tunes
+        from the host's CPUs and the manifest's recorded mean cell cost
+        (:func:`repro.runner.auto_jobs`).
     limit:
         Run at most this many *not-yet-done* cells (completed cells are
         skipped entirely).  The natural increment for huge campaigns and
@@ -223,6 +243,266 @@ def run_campaign(
         hits=hits,
         misses=misses,
         tier_decision=decision,
+    )
+
+
+@dataclass
+class CampaignDrain:
+    """Outcome of one runner's cooperative ``drain`` over a campaign.
+
+    Unlike :class:`CampaignRun`, ``results`` holds only the cells *this*
+    runner resolved -- the rest of the campaign was (or is being) drained
+    by other runners sharing the cache root.  ``manifest`` reflects the
+    merged completion state as of the final flush, so ``summary_line``
+    reports campaign-wide progress even from one runner's vantage point.
+    """
+
+    expansion: Expansion
+    runner: str
+    results: list[CellResult] = field(default_factory=list)
+    manifest: CampaignManifest | None = None
+    wall: float = 0.0
+    hits: int = 0
+    misses: int = 0
+    #: Claim batches this runner processed.
+    batches: int = 0
+    #: Cells adopted from expired leases (dead runners).
+    stolen: int = 0
+    #: One TierDecision per batch, in order.
+    tier_decisions: list[TierDecision] = field(default_factory=list)
+
+    @property
+    def campaign(self) -> Campaign:
+        return self.expansion.campaign
+
+    def summary_line(self) -> str:
+        counts = self.manifest.counts([c.digest for c in self.expansion.cells])
+        stolen = f", {self.stolen} stolen" if self.stolen else ""
+        return (
+            f"campaign {self.campaign.name!r} drained by {self.runner!r}: "
+            f"ran {len(self.results)} cells ({self.hits} from cache, "
+            f"{self.misses} computed{stolen}) in {self.wall:.1f}s; "
+            f"{counts['done']}/{counts['total']} cells done"
+        )
+
+
+def _default_runner_id() -> str:
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+def _cut_drain_segment(cache: ResultCache, expansion: Expansion) -> str | None:
+    """Pack every trace the campaign references into one segment file.
+
+    The carried "segment sharing" optimisation: a drain calls
+    :func:`run_many` once per claim batch, and without this each
+    ``process+shm`` batch would re-pack the same columns.  Digests
+    missing from the store are simply left out -- workers fall back to
+    the store for those.  Returns the temp file's path (caller unlinks)
+    or ``None`` when the campaign references no stored traces.
+    """
+    from repro.trace.segment import write_segment
+
+    digests = sorted(
+        {c.spec.trace_ref for c in expansion.cells if c.spec.trace_ref is not None}
+    )
+    rows = {}
+    for digest in digests:
+        try:
+            rows[digest] = cache.traces.get(digest)
+        except KeyError:
+            continue
+    if not rows:
+        return None
+    fd, path = tempfile.mkstemp(prefix="repro-drain-segment-", suffix=".bin")
+    os.close(fd)
+    write_segment(path, rows)
+    return path
+
+
+def drain_campaign(
+    campaign: Campaign,
+    cache: ResultCache,
+    runner: str | None = None,
+    jobs: int | None = 1,
+    batch: int = 8,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+    progress: Callable[[int, int, CellResult], None] | None = None,
+    tier: str | None = None,
+    poll_s: float = 0.25,
+) -> CampaignDrain:
+    """Cooperatively drain a campaign as one of N concurrent runners.
+
+    The lease/claim protocol (:mod:`repro.campaign.lease`) partitions the
+    pending cells among every runner process pointed at the same cache
+    root: claim a batch of unleased pending cells (O_EXCL -- no two
+    runners get the same cell), run it through the engine, flush each
+    completion to the shared manifest, release the leases, repeat until
+    the *campaign* is done -- including cells other runners complete,
+    which become visible through manifest refreshes between batches.  A
+    heartbeat thread keeps this runner's leases fresh; leases whose
+    runner died (SIGKILL -- no heartbeats for ``lease_ttl``) are stolen
+    and their cells recomputed, the same resume semantics an interrupted
+    single ``run`` has.
+
+    Parameters mirror :func:`run_campaign` except:
+
+    runner:
+        Stable identifier recorded in leases, cell records and run
+        history (default ``<host>-<pid>``).
+    jobs:
+        Engine workers *per batch* for this runner (default 1: the
+        cooperating runners themselves are the parallelism; ``None``
+        auto-tunes, for a lone drainer).
+    batch:
+        Cells claimed per iteration.  Small batches spread work evenly
+        as the campaign tail drains; large ones amortise claim overhead.
+    lease_ttl:
+        Seconds without heartbeats before this runner's leases become
+        stealable.
+    poll_s:
+        Sleep between manifest polls when every pending cell is leased
+        to a live runner.
+
+    A drain needs the shared cache -- it is both the lease rendezvous
+    and what makes worst-case double-claims benign (the second claimer
+    gets a cache hit, not a recompute).
+    """
+    if cache is None:
+        raise ValueError("drain_campaign needs a cache (the shared drain root)")
+    if batch < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
+    if tier is None:
+        tier = campaign.tier if campaign.tier is not None else "auto"
+    runner_id = str(runner) if runner is not None else _default_runner_id()
+
+    expansion = expand(campaign, store=cache.traces)
+    path = manifest_path(cache.root, campaign.name, expansion.digest)
+    manifest = CampaignManifest.open(path, campaign.name, expansion.digest)
+    leases = LeaseDir(
+        lease_dir_path(cache.root, campaign.name, expansion.digest),
+        runner=runner_id,
+        ttl=lease_ttl,
+    )
+    manifest.heartbeat(runner_id)
+
+    cells = {c.digest: c for c in expansion.cells}
+    total = len(expansion.cells)
+    completed = 0
+
+    segment = (
+        _cut_drain_segment(cache, expansion)
+        if jobs is None or jobs > 1
+        else None
+    )
+
+    stop = threading.Event()
+
+    def _beat() -> None:
+        while not stop.wait(lease_ttl / 4.0):
+            leases.heartbeat()
+
+    beater = threading.Thread(
+        target=_beat, name=f"lease-heartbeat-{runner_id}", daemon=True
+    )
+    beater.start()
+
+    results: list[CellResult] = []
+    decisions: list[TierDecision] = []
+    hits0, misses0 = cache.hits, cache.misses
+    n_stolen = n_batches = 0
+    start = time.perf_counter()
+    try:
+        while True:
+            manifest.refresh()
+            done = manifest.done_digests()
+            pending = [
+                c
+                for c in expansion.cells
+                if c.digest not in done or not _artifact_exists(cache, c)
+            ]
+            if not pending:
+                break
+            claimed, stolen = leases.claim_batch(
+                (c.digest for c in pending), batch
+            )
+            got = claimed + stolen
+            if not got:
+                # Every pending cell is leased to a live runner; wait for
+                # their completions (or their leases' expiry) to show up.
+                time.sleep(poll_s)
+                continue
+            n_stolen += len(stolen)
+            n_batches += 1
+
+            def on_cell(done_n: int, batch_total: int, result: CellResult) -> None:
+                nonlocal completed
+                digest = cell_digest(result.spec)
+                cell = cells.get(digest)
+                if cell is not None:
+                    manifest.mark_done(
+                        digest,
+                        cell.coords,
+                        cached=result.cached,
+                        elapsed=result.elapsed,
+                        runner=runner_id,
+                    )
+                    manifest.flush()
+                    # Release strictly after the flush: a crash between
+                    # the two leaks a lease over a done cell, never a
+                    # released lease over an unrecorded one.
+                    leases.release(digest)
+                completed += 1
+                if progress is not None:
+                    progress(completed, total, result)
+
+            results.extend(
+                run_many(
+                    [cells[d].spec for d in got],
+                    jobs=jobs,
+                    cache=cache,
+                    progress=on_cell,
+                    tier=tier,
+                    est_cell_s=manifest.mean_compute_seconds(),
+                    on_decision=decisions.append,
+                    segment_path=segment,
+                )
+            )
+    finally:
+        stop.set()
+        beater.join(timeout=5.0)
+        leases.release_all()
+        if segment is not None:
+            try:
+                os.unlink(segment)
+            except OSError:
+                pass
+    wall = time.perf_counter() - start
+    hits = cache.hits - hits0
+    misses = cache.misses - misses0
+    manifest.heartbeat(runner_id)
+    last = decisions[-1] if decisions else None
+    manifest.record_run(
+        wall,
+        hits=hits,
+        misses=misses,
+        n_selected=len(results),
+        limit=None,
+        tier=last.tier if last is not None else None,
+        runner=runner_id,
+        mode="drain",
+    )
+    manifest.flush()
+    return CampaignDrain(
+        expansion=expansion,
+        runner=runner_id,
+        results=results,
+        manifest=manifest,
+        wall=wall,
+        hits=hits,
+        misses=misses,
+        batches=n_batches,
+        stolen=n_stolen,
+        tier_decisions=decisions,
     )
 
 

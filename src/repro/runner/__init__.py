@@ -35,6 +35,7 @@ from repro.runner.engine import (
     MIXED_A2A_NBODY,
     TIERS,
     TierDecision,
+    auto_jobs,
     choose_tier,
     mixed_pattern_selector,
     run_cell,
@@ -51,6 +52,7 @@ __all__ = [
     "CACHE_FORMAT",
     "TIERS",
     "TierDecision",
+    "auto_jobs",
     "choose_tier",
     "default_cache_root",
     "run_cell",

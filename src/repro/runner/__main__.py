@@ -12,6 +12,10 @@ content-addressed workload store underneath them::
     python -m repro.runner prune --spec-substr n-body     # spec-filtered
     python -m repro.runner vacuum                  # corrupt artifacts, temp
                                                    # leftovers, orphan traces
+    python -m repro.runner vacuum --repack         # + rewrite legacy artifacts
+    python -m repro.runner export fig07            # campaign -> one bundle
+    python -m repro.runner export n-body -o nb.tgz # spec-substr selection
+    python -m repro.runner import nb.tgz           # digest-verified unpack
 
 ``--cache-dir`` (or ``$REPRO_CACHE_DIR``) selects the cache.  ``prune``
 removes cell artifacts three ways -- by age (``--older-than DAYS``,
@@ -19,6 +23,12 @@ optionally restricted by ``--spec-substr``), by spec content alone
 (``--spec-substr`` matches the artifact's canonical spec JSON), or by
 total size (``--max-mb N`` evicts oldest-first until the artifacts fit);
 follow with ``vacuum`` to drop traces nothing references any more.
+
+``export`` packs artifacts + the traces they reference (and, for a
+campaign target, its manifest) into one deterministic gzip bundle;
+``import`` unpacks into the local cache with every member digest-verified
+and already-present content skipped -- how machines that cannot share a
+cache root exchange warm results (see :mod:`repro.runner.bundle`).
 """
 
 from __future__ import annotations
@@ -28,6 +38,7 @@ import sys
 import time
 
 from repro.analysis.tables import format_table
+from repro.runner.bundle import BundleError, export_bundle, import_bundle
 from repro.runner.cache import ResultCache
 
 __all__ = ["main"]
@@ -123,13 +134,83 @@ def _prune(cache: ResultCache, args) -> int:
 
 
 def _vacuum(cache: ResultCache, args) -> int:
-    report = cache.vacuum(dry_run=args.dry_run, orphan_grace_days=args.orphan_grace)
+    report = cache.vacuum(
+        dry_run=args.dry_run,
+        orphan_grace_days=args.orphan_grace,
+        repack=args.repack,
+    )
     verb = "would remove" if args.dry_run else "removed"
     print(
         f"{verb} {report.corrupt_artifacts} corrupt artifacts, "
         f"{report.tmp_files} temp leftovers, "
         f"{report.orphan_traces} orphan traces from {cache.root}"
     )
+    if args.repack:
+        if args.dry_run:
+            print(f"would repack {report.repacked_artifacts} legacy artifacts")
+        else:
+            print(
+                f"repacked {report.repacked_artifacts} legacy artifacts, "
+                f"reclaimed {report.repack_bytes_saved / 1024.0:.1f} kB"
+            )
+    return 0
+
+
+def _resolve_export(cache: ResultCache, target: str, export_all: bool):
+    """(artifact paths, campaign manifest files, default output name)."""
+    from repro.campaign.manifest import MANIFEST_DIRNAME
+
+    if export_all:
+        manifests = sorted((cache.root / MANIFEST_DIRNAME).glob("*.json"))
+        return list(cache._artifact_paths()), manifests, "repro-cache.bundle.tgz"
+    # A campaign (bundled name or file path) first, else a spec substring.
+    try:
+        from repro.campaign.__main__ import resolve_campaign_path
+        from repro.campaign.expand import expand
+        from repro.campaign.manifest import manifest_path
+        from repro.campaign.model import load_campaign
+
+        campaign = load_campaign(resolve_campaign_path(target))
+    except FileNotFoundError:
+        paths = [
+            p for p in cache._artifact_paths() if cache._spec_matches(p, target)
+        ]
+        return paths, [], "repro-bundle.tgz"
+    expansion = expand(campaign, store=cache.traces)
+    paths = []
+    for cell in expansion.cells:
+        try:
+            key = cache.key_for(cell.spec)
+        except KeyError:
+            continue
+        paths.extend(p for p in cache._candidate_paths(key) if p.is_file())
+    mpath = manifest_path(cache.root, campaign.name, expansion.digest)
+    manifests = [mpath] if mpath.is_file() else []
+    return paths, manifests, f"{campaign.name}-{expansion.digest[:12]}.bundle.tgz"
+
+
+def _export(cache: ResultCache, args) -> int:
+    paths, manifests, default_out = _resolve_export(cache, args.target, args.all)
+    if not paths and not manifests:
+        print(
+            f"nothing to export: no artifacts match {args.target!r} "
+            f"in {cache.root}",
+            file=sys.stderr,
+        )
+        return 2
+    out = args.output if args.output is not None else default_out
+    report = export_bundle(cache, out, paths, campaign_manifests=manifests)
+    print(report.summary_line())
+    return 0
+
+
+def _import(cache: ResultCache, args) -> int:
+    try:
+        report = import_bundle(cache, args.bundle)
+    except BundleError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.summary_line())
     return 0
 
 
@@ -195,14 +276,55 @@ def main(argv: list[str] | None = None) -> int:
         help="keep unreferenced traces newer than this (protects staged "
         "ingests and in-flight sweeps; default: 1 day)",
     )
+    p_vac.add_argument(
+        "--repack",
+        action="store_true",
+        help="rewrite legacy artifacts (format-1 JSON, timestamped gzip) "
+        "as the current byte-deterministic format, reclaiming space",
+    )
+
+    p_exp = sub.add_parser(
+        "export",
+        help="pack artifacts + referenced traces (+ campaign manifest) "
+        "into one digest-verified bundle",
+    )
+    p_exp.add_argument(
+        "target",
+        help="what to export: a campaign (bundled name or file path) or a "
+        "spec substring (matched like prune --spec-substr)",
+    )
+    p_exp.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="bundle file to write (default: <campaign>-<digest>.bundle.tgz "
+        "for campaigns, repro-bundle.tgz otherwise)",
+    )
+    p_exp.add_argument(
+        "--all",
+        action="store_true",
+        help="export every artifact and campaign manifest in the cache "
+        "(target is ignored; pass e.g. 'all')",
+    )
+
+    p_imp = sub.add_parser(
+        "import",
+        help="unpack a bundle into the cache (every member digest-verified, "
+        "present content skipped, campaign manifests merged)",
+    )
+    p_imp.add_argument("bundle", help="bundle file written by export")
 
     args = parser.parse_args(argv)
     cache = ResultCache(args.cache_dir)
-    if args.command == "ls":
-        return _ls(cache, args)
-    if args.command == "prune":
-        return _prune(cache, args)
-    return _vacuum(cache, args)
+    handler = {
+        "ls": _ls,
+        "prune": _prune,
+        "vacuum": _vacuum,
+        "export": _export,
+        "import": _import,
+    }[args.command]
+    return handler(cache, args)
 
 
 if __name__ == "__main__":

@@ -164,14 +164,19 @@ def unpack_job_results(cols: dict, base_jobs: list[Job]) -> list[JobResult]:
 
 @dataclass
 class VacuumReport:
-    """What :meth:`ResultCache.vacuum` removed."""
+    """What :meth:`ResultCache.vacuum` removed (and, with ``repack``, rewrote)."""
 
     corrupt_artifacts: int = 0
     tmp_files: int = 0
     orphan_traces: int = 0
+    #: Artifacts rewritten to the current format (``repack=True`` only).
+    repacked_artifacts: int = 0
+    #: Net artifact bytes reclaimed by repacking (old size - new size).
+    repack_bytes_saved: int = 0
 
     @property
     def total(self) -> int:
+        """Files *removed* (repacks rewrite in place and are not counted)."""
         return self.corrupt_artifacts + self.tmp_files + self.orphan_traces
 
 
@@ -478,8 +483,28 @@ class ResultCache:
                 refs.add(digest)
         return refs
 
+    def _needs_repack(self, path: Path, data: dict) -> bool:
+        """Whether an artifact is in a legacy on-disk form.
+
+        True for format-1 plain-JSON files, for artifacts written under
+        an older schema, and for gzip files whose header carries a
+        timestamp (pre-determinism writes): all of them decode fine but
+        are not the bytes :meth:`put` would produce today.
+        """
+        if data.get("format") != CACHE_FORMAT or path.suffix != ".gz":
+            return True
+        try:
+            with open(path, "rb") as fh:
+                header = fh.read(8)
+            return int.from_bytes(header[4:8], "little") != 0
+        except OSError:
+            return False
+
     def vacuum(
-        self, dry_run: bool = False, orphan_grace_days: float = 1.0
+        self,
+        dry_run: bool = False,
+        orphan_grace_days: float = 1.0,
+        repack: bool = False,
     ) -> VacuumReport:
         """Remove dead weight: corrupt artifacts, temp leftovers, orphan traces.
 
@@ -490,6 +515,14 @@ class ResultCache:
         ``orphan_grace_days``.  The grace window protects traces interned
         ahead of their artifacts -- a staged ingest, or a sweep still in
         flight whose cells haven't landed yet.
+
+        ``repack=True`` additionally rewrites every *legacy* artifact
+        (format-1 plain JSON, or gzip with a timestamped header) as the
+        current byte-deterministic format via :meth:`put` -- same cache
+        key, same decoded cell, current bytes -- deleting the old file
+        when the name changed and reporting the net bytes reclaimed.
+        Inline traces of format-1 artifacts are interned into the
+        workload store along the way.
         """
         report = VacuumReport()
         referenced: set[str] = set()
@@ -503,7 +536,31 @@ class ResultCache:
                 report.corrupt_artifacts += 1
                 if not dry_run:
                     path.unlink(missing_ok=True)
-            elif digest is not None:
+                continue
+            if repack and self._needs_repack(path, data):
+                # Full decode (with jobs) -- an artifact that passes the
+                # summary check but cannot rebuild its rows is left
+                # alone rather than destroyed.
+                result = self._decode(data)
+                if result is not None:
+                    report.repacked_artifacts += 1
+                    if not dry_run:
+                        old_size = path.stat().st_size
+                        new_path = self.put(result)
+                        report.repack_bytes_saved += (
+                            old_size - new_path.stat().st_size
+                        )
+                        if new_path != path:
+                            path.unlink(missing_ok=True)
+                        # The rewrite may have just interned an inline
+                        # trace; protect it from the orphan sweep below.
+                        new_data = self._read_payload(new_path)
+                        digest = (
+                            (new_data.get("spec") or {}).get("trace_ref")
+                            if new_data is not None
+                            else digest
+                        )
+            if digest is not None:
                 referenced.add(digest)
         if self.root.is_dir():
             for tmp in list(self.root.glob("*.tmp*")) + list(

@@ -46,6 +46,7 @@ artifacts are identical either way.
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import os
 import tempfile
@@ -72,6 +73,7 @@ __all__ = [
     "mixed_pattern_selector",
     "TIERS",
     "TierDecision",
+    "auto_jobs",
     "choose_tier",
     "AUTO_INLINE_BUDGET_S",
 ]
@@ -187,6 +189,31 @@ class TierDecision:
         return f"{self.tier} ({self.requested}: {self.reason}{est})"
 
 
+def auto_jobs(n_pending: int, est_cell_s: float | None = None) -> int:
+    """Worker count for ``jobs=None``: sized to the host and the work.
+
+    The ceiling is the CPUs actually usable by this process
+    (``os.process_cpu_count`` where available -- respects affinity
+    masks/cgroup limits -- else ``os.cpu_count``).  With a per-cell cost
+    estimate (a campaign manifest's recorded ``mean_compute_seconds``,
+    or the auto tier's probe) the count is scaled down so every worker
+    gets at least :data:`AUTO_INLINE_BUDGET_S` of work -- spinning up
+    16 processes for 1.2s of total compute loses to 2.
+
+    >>> auto_jobs(0)
+    1
+    >>> auto_jobs(100, est_cell_s=0.0)
+    1
+    """
+    cpus = getattr(os, "process_cpu_count", os.cpu_count)() or 1
+    if n_pending <= 0:
+        return 1
+    if est_cell_s is None:
+        return max(1, min(cpus, n_pending))
+    busy = math.ceil(n_pending * est_cell_s / AUTO_INLINE_BUDGET_S)
+    return max(1, min(cpus, n_pending, busy))
+
+
 def choose_tier(
     n_pending: int,
     jobs: int,
@@ -281,23 +308,30 @@ def _run_pool(
     store_root: str | None,
     n_workers: int,
     with_segment: bool,
+    segment_path: str | None = None,
 ) -> None:
     """Fan ``work`` out over a Pool, optionally through a trace segment.
 
-    The segment is cut once from the parent's store (only the digests
-    this run actually references), announced to workers through the Pool
-    initializer, and removed when the Pool is done -- per-run state,
-    never persistent.  With no refs (or no store) the segment is skipped
-    and the tier degrades to plain ``process`` transparently.
+    By default the segment is cut once from the parent's store (only the
+    digests this run actually references), announced to workers through
+    the Pool initializer, and removed when the Pool is done -- per-run
+    state, never persistent.  A caller-provided ``segment_path`` (e.g. a
+    campaign drain's single per-drain segment) is used as-is and left in
+    place: the caller owns its lifecycle, and refs it happens not to
+    cover hydrate through the store fallback.  With no refs (or no
+    store) the segment is skipped and the tier degrades to plain
+    ``process`` transparently.
     """
     initializer = None
     initargs: tuple = ()
-    segment_path = None
+    own_segment = None
     try:
-        if with_segment and store is not None:
+        if with_segment and segment_path is not None:
+            initializer, initargs = _init_segment_worker, (str(segment_path),)
+        elif with_segment and store is not None:
             digests = sorted({s.trace_ref for s in work if s.trace_ref is not None})
             if digests:
-                fd, segment_path = tempfile.mkstemp(
+                fd, own_segment = tempfile.mkstemp(
                     prefix="repro-segment-", suffix=".bin"
                 )
                 os.close(fd)
@@ -307,8 +341,8 @@ def _run_pool(
                     raise KeyError(
                         f"cannot cut the process+shm trace segment: {exc.args[0]}"
                     ) from None
-                write_segment(segment_path, traces)
-                initializer, initargs = _init_segment_worker, (segment_path,)
+                write_segment(own_segment, traces)
+                initializer, initargs = _init_segment_worker, (own_segment,)
         # Chunked dispatch amortises pickling without starving workers.
         chunksize = max(1, len(work) // (n_workers * 4))
         payloads = [(spec, store_root) for spec in work]
@@ -318,19 +352,20 @@ def _run_pool(
             for cell in pool.imap_unordered(_worker, payloads, chunksize=chunksize):
                 fan_out(cell)
     finally:
-        if segment_path is not None:
-            os.unlink(segment_path)
+        if own_segment is not None:
+            os.unlink(own_segment)
 
 
 def run_many(
     specs: Iterable[ExperimentSpec],
-    jobs: int = 1,
+    jobs: int | None = 1,
     cache: ResultCache | None = None,
     progress: Callable[[int, int, CellResult], None] | None = None,
     store: TraceStore | None = None,
     tier: str | None = "auto",
     est_cell_s: float | None = None,
     on_decision: Callable[[TierDecision], None] | None = None,
+    segment_path: str | os.PathLike | None = None,
 ) -> list[CellResult]:
     """Run every spec, reusing cached cells, through an execution tier.
 
@@ -340,7 +375,9 @@ def run_many(
         The grid cells; the returned list is index-aligned with it.
     jobs:
         Worker processes.  ``<= 1`` always runs in the calling process
-        (same results, by construction -- see the determinism tests).
+        (same results, by construction -- see the determinism tests);
+        ``None`` auto-tunes the count from the host's usable CPUs and
+        the per-cell cost estimate (:func:`auto_jobs`).
     cache:
         Optional :class:`ResultCache`; hits skip computation, misses are
         stored after computing.
@@ -365,6 +402,11 @@ def run_many(
     on_decision:
         Optional callback receiving the :class:`TierDecision` actually
         taken -- observability for CLIs and the campaign manifest.
+    segment_path:
+        Optional pre-cut trace segment (:func:`repro.trace.segment.write_segment`)
+        reused by the ``process+shm`` tier instead of packing one per
+        call -- how a campaign drain packs its columns once across many
+        batches.  The caller owns the file's lifecycle.
 
     Notes
     -----
@@ -416,6 +458,12 @@ def run_many(
     has_refs = any(s.trace_ref is not None for s in work)
 
     # -- tier resolution ------------------------------------------------
+    # jobs=None auto-tunes the worker count alongside the tier; the
+    # resolved count feeds the same choose_tier policy a fixed count
+    # would, so the tier tests' invariants hold either way.
+    tuned = jobs is None
+    if tuned:
+        jobs = auto_jobs(n_pending, est_cell_s)
     if tier == "auto":
         decision = choose_tier(n_pending, jobs, est_cell_s, has_refs)
         if decision.tier == "probe":
@@ -430,6 +478,8 @@ def run_many(
                 fan_out(probe)
                 work = work[1:]
                 probes.append(probe.elapsed)
+            if tuned:
+                jobs = auto_jobs(len(work), min(probes))
             decision = choose_tier(len(work), jobs, min(probes), has_refs)
             decision = TierDecision(
                 "auto",
@@ -459,6 +509,7 @@ def run_many(
             store_root,
             n_workers,
             with_segment=decision.tier == "process+shm",
+            segment_path=str(segment_path) if segment_path is not None else None,
         )
     else:
         for spec in work:

@@ -1,0 +1,305 @@
+"""Lease protocol + cooperative drain coverage.
+
+The distributed-drain contract: N runner processes pointed at one cache
+root partition a campaign's pending cells through O_EXCL lease files --
+zero duplicated compute in the common case, dead runners' cells stolen
+after their lease TTL, and the shared manifest recording every runner's
+completions without clobbering.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import (
+    CampaignManifest,
+    LeaseDir,
+    drain_campaign,
+    expand,
+    lease_dir_path,
+    loads_campaign,
+    manifest_path,
+    run_campaign,
+)
+from repro.campaign.lease import FileLock
+from repro.runner import ResultCache
+
+CAMPAIGN = """
+[campaign]
+name = "drainme"
+
+[defaults]
+seed = 7
+n_jobs = 8
+runtime_scale = 0.01
+
+[axes]
+mesh = ["8x8"]
+pattern = ["ring"]
+load = [1.0, 0.8, 0.6]
+allocator = ["hilbert+bf", "s-curve", "mc1x1"]
+"""
+
+N_CELLS = 9
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def _env():
+    return dict(os.environ, PYTHONPATH=SRC, PYTHONUNBUFFERED="1")
+
+
+class TestLeaseDir:
+    def test_claim_is_exclusive(self, tmp_path):
+        a = LeaseDir(tmp_path, runner="a")
+        b = LeaseDir(tmp_path, runner="b")
+        assert a.claim("cell-1") is True
+        assert b.claim("cell-1") is False
+        assert a.claim("cell-1") is False  # even the holder cannot re-claim
+        assert b.claim("cell-2") is True
+        assert a.held() == {"cell-1"} and b.held() == {"cell-2"}
+
+    def test_claim_batch_partitions_without_overlap(self, tmp_path):
+        digests = [f"cell-{i}" for i in range(10)]
+        a = LeaseDir(tmp_path, runner="a")
+        b = LeaseDir(tmp_path, runner="b")
+        got_a, stolen_a = a.claim_batch(digests, 6)
+        got_b, stolen_b = b.claim_batch(digests, 6)
+        assert stolen_a == [] and stolen_b == []
+        assert set(got_a).isdisjoint(got_b)
+        assert len(got_a) == 6 and len(got_b) == 4
+
+    def test_release_only_own_lease(self, tmp_path):
+        a = LeaseDir(tmp_path, runner="a")
+        b = LeaseDir(tmp_path, runner="b")
+        a.claim("cell-1")
+        b.release("cell-1")  # not b's: must be a no-op
+        assert a.read("cell-1") is not None
+        a.release("cell-1")
+        assert a.read("cell-1") is None
+
+    def test_heartbeat_refreshes_and_drops_stolen(self, tmp_path):
+        a = LeaseDir(tmp_path, runner="a", ttl=30.0)
+        a.claim("cell-1")
+        before = a.read("cell-1").heartbeat_at
+        time.sleep(0.02)
+        a.heartbeat()
+        assert a.read("cell-1").heartbeat_at > before
+        # someone steals it out from under us -> heartbeat drops it
+        a.path_for("cell-1").unlink()
+        b = LeaseDir(tmp_path, runner="b")
+        b.claim("cell-1")
+        a.heartbeat()
+        assert "cell-1" not in a.held()
+        assert a.read("cell-1").runner == "b"
+
+    def test_expired_lease_is_stolen(self, tmp_path):
+        ghost = LeaseDir(tmp_path, runner="ghost", ttl=0.05)
+        ghost.claim("cell-1")
+        ghost.claim("cell-2")
+        time.sleep(0.1)  # both leases expire (no heartbeats)
+        rescuer = LeaseDir(tmp_path, runner="rescuer", ttl=30.0)
+        claimed, stolen = rescuer.claim_batch(["cell-1", "cell-2", "cell-3"], 3)
+        assert claimed == ["cell-3"]
+        assert sorted(stolen) == ["cell-1", "cell-2"]
+        assert rescuer.read("cell-1").runner == "rescuer"
+
+    def test_live_lease_is_not_stolen(self, tmp_path):
+        holder = LeaseDir(tmp_path, runner="holder", ttl=30.0)
+        holder.claim("cell-1")
+        thief = LeaseDir(tmp_path, runner="thief", ttl=30.0)
+        claimed, stolen = thief.claim_batch(["cell-1"], 1)
+        assert claimed == [] and stolen == []
+        assert holder.read("cell-1").runner == "holder"
+
+    def test_corrupt_lease_reads_none_and_is_stealable(self, tmp_path):
+        a = LeaseDir(tmp_path, runner="a")
+        a.claim("cell-1")
+        a.path_for("cell-1").write_text("{torn write")
+        assert a.read("cell-1") is None
+        b = LeaseDir(tmp_path, runner="b")
+        claimed, stolen = b.claim_batch(["cell-1"], 1)
+        assert stolen == ["cell-1"]
+
+
+class TestFileLock:
+    def test_exclusive_and_reentrant_after_release(self, tmp_path):
+        lock = FileLock(tmp_path / "x.lock", timeout_s=0.2, stale_s=30.0)
+        with lock:
+            other = FileLock(tmp_path / "x.lock", timeout_s=0.05, stale_s=30.0)
+            with pytest.raises(TimeoutError):
+                other.acquire()
+        with lock:  # released -> acquirable again
+            pass
+
+    def test_stale_lock_is_broken(self, tmp_path):
+        path = tmp_path / "x.lock"
+        path.write_text("999999\n")
+        old = time.time() - 120
+        os.utime(path, (old, old))
+        lock = FileLock(path, timeout_s=1.0, stale_s=10.0)
+        lock.acquire()  # must break the dead holder's file, not time out
+        lock.release()
+
+
+class TestDrainCampaign:
+    def test_single_runner_drain_completes_and_matches_run(self, tmp_path):
+        drained = ResultCache(tmp_path / "a")
+        drain = drain_campaign(
+            loads_campaign(CAMPAIGN), cache=drained, runner="solo", batch=4
+        )
+        assert len(drain.results) == N_CELLS
+        assert drain.misses == N_CELLS and drain.hits == 0
+        counts = drain.manifest.counts([c.digest for c in drain.expansion.cells])
+        assert counts["done"] == N_CELLS and counts["pending"] == 0
+        # per-cell records carry the runner, the run record carries the mode
+        assert all(
+            rec.get("runner") == "solo" for rec in drain.manifest.cells.values()
+        )
+        assert drain.manifest.runs[-1]["mode"] == "drain"
+        # leases are all released
+        lease_root = lease_dir_path(
+            drained.root, drain.campaign.name, drain.expansion.digest
+        )
+        assert not list(lease_root.glob("*.json"))
+
+        # byte-identical artifacts versus the plain run path
+        ran = ResultCache(tmp_path / "b")
+        run_campaign(loads_campaign(CAMPAIGN), cache=ran, jobs=1)
+        a_files = {p.name: p.read_bytes() for p in drained.root.glob("*.json.gz")}
+        b_files = {p.name: p.read_bytes() for p in ran.root.glob("*.json.gz")}
+        assert a_files == b_files and len(a_files) == N_CELLS
+
+    def test_drain_warm_campaign_is_all_hits(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        run_campaign(loads_campaign(CAMPAIGN), cache=cache, jobs=1)
+        drain = drain_campaign(
+            loads_campaign(CAMPAIGN), cache=ResultCache(cache.root), runner="warm"
+        )
+        assert drain.misses == 0
+        # nothing pending -> at most one claim sweep resolves everything
+        assert drain.hits == 0 or drain.hits == N_CELLS
+
+    def test_drain_requires_cache(self):
+        with pytest.raises(ValueError, match="cache"):
+            drain_campaign(loads_campaign(CAMPAIGN), cache=None)
+
+    def test_two_concurrent_drain_processes_no_duplicate_compute(self, tmp_path):
+        """The tentpole invariant, end to end: two real drain processes
+        over one cold campaign compute every cell exactly once between
+        them, and the manifest records both runners."""
+        campaign_file = tmp_path / "drainme.toml"
+        campaign_file.write_text(CAMPAIGN)
+        cache_dir = tmp_path / "cache"
+        procs = [
+            subprocess.Popen(
+                [
+                    sys.executable, "-m", "repro.campaign", "drain",
+                    str(campaign_file), "--cache-dir", str(cache_dir),
+                    "--runner-id", rid, "--batch", "2", "--quiet",
+                ],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.STDOUT,
+                text=True,
+                env=_env(),
+            )
+            for rid in ("alpha", "beta")
+        ]
+        outs = [p.communicate(timeout=120)[0] for p in procs]
+        assert all(p.returncode == 0 for p in procs), outs
+
+        cache = ResultCache(cache_dir)
+        campaign = loads_campaign(CAMPAIGN)
+        expansion = expand(campaign, store=cache.traces)
+        path = manifest_path(cache.root, campaign.name, expansion.digest)
+        manifest = CampaignManifest.open(path, campaign.name, expansion.digest)
+        counts = manifest.counts([c.digest for c in expansion.cells])
+        assert counts["done"] == N_CELLS and counts["pending"] == 0
+        # zero duplicate computes: total misses across both runners'
+        # drain records equals the number of cells computed
+        drain_runs = [r for r in manifest.runs if r.get("mode") == "drain"]
+        assert {r.get("runner") for r in drain_runs} == {"alpha", "beta"}
+        assert sum(r["misses"] for r in drain_runs) == N_CELLS
+        assert counts["computed"] == N_CELLS
+        # both runners heartbeated into the manifest
+        assert set(manifest.runners) == {"alpha", "beta"}
+
+    def test_sigkilled_runner_cells_are_stolen_and_finished(self, tmp_path):
+        """A runner claims a batch, lands one cell, then dies by SIGKILL
+        -- no cleanup, leases left behind.  A second runner finds those
+        leases expired (their recorded 0.3s TTL, no heartbeats), steals
+        the dead cells and finishes the campaign."""
+        campaign_file = tmp_path / "drainme.toml"
+        campaign_file.write_text(CAMPAIGN)
+        cache_dir = tmp_path / "cache"
+        victim = f"""
+import os, signal
+from repro.campaign import (CampaignManifest, expand, lease_dir_path,
+                            loads_campaign, manifest_path)
+from repro.campaign.lease import LeaseDir
+from repro.runner import ResultCache, run_many
+
+cache = ResultCache({str(cache_dir)!r})
+campaign = loads_campaign(open({str(campaign_file)!r}).read())
+expansion = expand(campaign, store=cache.traces)
+leases = LeaseDir(
+    lease_dir_path(cache.root, campaign.name, expansion.digest),
+    runner="victim", ttl=0.3,
+)
+claimed, _ = leases.claim_batch([c.digest for c in expansion.cells], 6)
+assert len(claimed) == 6
+# land exactly one claimed cell the way a drain would, then die ugly
+manifest = CampaignManifest.open(
+    manifest_path(cache.root, campaign.name, expansion.digest),
+    campaign.name, expansion.digest,
+)
+cell = next(c for c in expansion.cells if c.digest == claimed[0])
+[result] = run_many([cell.spec], cache=cache, tier="inline")
+manifest.mark_done(cell.digest, cell.coords, cached=result.cached,
+                   elapsed=result.elapsed, runner="victim")
+manifest.flush()
+leases.release(cell.digest)
+print("DYING", flush=True)
+os.kill(os.getpid(), signal.SIGKILL)
+"""
+        proc = subprocess.run(
+            [sys.executable, "-c", victim],
+            capture_output=True,
+            text=True,
+            env=_env(),
+            timeout=120,
+        )
+        assert proc.returncode == -signal.SIGKILL, proc.stderr
+        assert "DYING" in proc.stdout
+
+        campaign = loads_campaign(CAMPAIGN)
+        cache = ResultCache(cache_dir)
+        expansion = expand(campaign, store=cache.traces)
+        lease_root = lease_dir_path(cache.root, campaign.name, expansion.digest)
+        leases_left = list(lease_root.glob("*.json"))
+        assert len(leases_left) == 5, "victim died holding 5 unfinished leases"
+        for lease_file in leases_left:
+            assert json.loads(lease_file.read_text())["runner"] == "victim"
+
+        time.sleep(0.4)  # let the victim's 0.3s TTL lapse
+        rescue = drain_campaign(
+            campaign, cache=ResultCache(cache_dir), runner="rescuer", batch=4
+        )
+        assert rescue.stolen == 5
+        counts = rescue.manifest.counts([c.digest for c in rescue.expansion.cells])
+        assert counts["done"] == N_CELLS and counts["pending"] == 0
+        # the victim's one completion was preserved, not recomputed
+        victim_cells = [
+            rec
+            for rec in rescue.manifest.cells.values()
+            if rec.get("runner") == "victim"
+        ]
+        assert len(victim_cells) == 1
+        assert rescue.misses == N_CELLS - 1
+        assert not list(lease_root.glob("*.json"))

@@ -1,0 +1,177 @@
+"""Concurrency-safety of :meth:`CampaignManifest.flush`.
+
+The satellite contract: flushes from any number of processes (or plain
+interleaved ``run`` invocations -- drain mode is not required) merge
+rather than clobber, a crash at any instant leaves a valid manifest on
+disk, and stale lock/temp leftovers never wedge the next flush.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+from repro.campaign.manifest import MANIFEST_FORMAT, CampaignManifest
+
+DIGEST = "d" * 64
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def _manifest(tmp_path, name="concurrent") -> CampaignManifest:
+    return CampaignManifest.open(tmp_path / f"{name}.json", name, DIGEST)
+
+
+class TestMergeOnFlush:
+    def test_interleaved_flushes_union_disjoint_cells(self, tmp_path):
+        """Two manifest objects over one file, each completing its own
+        cells: whoever flushes last must not erase the other's work."""
+        a = _manifest(tmp_path)
+        b = _manifest(tmp_path)
+        a.mark_done("cell-a", {"i": 0}, cached=False, elapsed=0.5, runner="a")
+        a.flush()
+        b.mark_done("cell-b", {"i": 1}, cached=False, elapsed=0.7, runner="b")
+        b.flush()  # b never saw cell-a in memory -- must merge it from disk
+        a.mark_done("cell-a2", {"i": 2}, cached=False, elapsed=0.2, runner="a")
+        a.flush()
+
+        final = _manifest(tmp_path)
+        assert set(final.cells) == {"cell-a", "cell-b", "cell-a2"}
+        assert final.cells["cell-b"]["runner"] == "b"
+
+    def test_computed_record_beats_cache_hit_record(self, tmp_path):
+        a = _manifest(tmp_path)
+        b = _manifest(tmp_path)
+        a.mark_done("cell", {"i": 0}, cached=False, elapsed=1.5)
+        a.flush()
+        b.mark_done("cell", {"i": 0}, cached=True, elapsed=0.0)
+        b.flush()  # the warm re-run must not erase the real timing
+        final = _manifest(tmp_path)
+        assert final.cells["cell"]["cached"] is False
+        assert final.cells["cell"]["elapsed"] == 1.5
+
+    def test_run_history_unions_and_heartbeats_keep_freshest(self, tmp_path):
+        a = _manifest(tmp_path)
+        b = _manifest(tmp_path)
+        a.record_run(1.0, hits=0, misses=3, n_selected=3, limit=None, runner="a")
+        a.heartbeat("a")
+        a.flush()
+        b.record_run(2.0, hits=3, misses=0, n_selected=3, limit=None, runner="b")
+        b.heartbeat("a")  # fresher heartbeat for the same runner id
+        b.heartbeat("b")
+        b.flush()
+        final = _manifest(tmp_path)
+        assert len(final.runs) == 2
+        assert {r["runner"] for r in final.runs} == {"a", "b"}
+        assert set(final.runners) == {"a", "b"}
+        assert final.runners["a"]["heartbeat_at"] >= a.runners["a"]["heartbeat_at"]
+
+    def test_threaded_flush_storm_loses_nothing(self, tmp_path):
+        """8 writers x 10 cells each, every mark flushed immediately:
+        all 80 records must survive the storm."""
+        def writer(idx: int) -> None:
+            m = _manifest(tmp_path)
+            for i in range(10):
+                m.mark_done(
+                    f"cell-{idx}-{i}", {"i": i}, cached=False,
+                    elapsed=0.1, runner=f"w{idx}",
+                )
+                m.flush()
+
+        threads = [threading.Thread(target=writer, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        final = _manifest(tmp_path)
+        assert len(final.cells) == 80
+
+
+class TestCrashMidFlush:
+    def test_sigkill_during_flush_loop_leaves_valid_manifest(self, tmp_path):
+        """Regression for the satellite: a flusher SIGKILLed at a random
+        instant mid-storm must leave a manifest the next opener can both
+        read and keep flushing to."""
+        path = tmp_path / "crash.json"
+        flusher = f"""
+from repro.campaign.manifest import CampaignManifest
+m = CampaignManifest.open({str(path)!r}, "crash", {DIGEST!r})
+i = 0
+while True:
+    m.mark_done(f"cell-{{i}}", {{"i": i}}, cached=False, elapsed=0.1)
+    m.flush()
+    i += 1
+"""
+        env = dict(os.environ, PYTHONPATH=SRC)
+        proc = subprocess.Popen([sys.executable, "-c", flusher], env=env)
+        # let it get some flushes in, then kill at an arbitrary instant
+        deadline = time.time() + 30
+        while not path.is_file() and time.time() < deadline:
+            time.sleep(0.01)
+        time.sleep(0.2)
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=30)
+
+        data = json.loads(path.read_text())  # never a torn file
+        assert data["format"] == MANIFEST_FORMAT
+        assert len(data["cells"]) >= 1
+
+        survivor = CampaignManifest.open(path, "crash", DIGEST)
+        n_before = len(survivor.cells)
+        assert n_before == len(data["cells"])
+        survivor.mark_done("after-crash", {"i": -1}, cached=False, elapsed=0.1)
+        survivor.flush()  # any leftover lock/tmp must not wedge this
+        final = CampaignManifest.open(path, "crash", DIGEST)
+        assert len(final.cells) == n_before + 1
+
+    def test_stale_lock_and_tmp_leftovers_do_not_block(self, tmp_path):
+        path = tmp_path / "wedged.json"
+        m = CampaignManifest.open(path, "wedged", DIGEST)
+        m.mark_done("cell-0", {"i": 0}, cached=False, elapsed=0.1)
+        m.flush()
+        # simulate a flusher that died holding the lock, with a torn temp
+        lock = path.with_name(path.name + ".lock")
+        lock.write_text("999999\n")
+        old = time.time() - 120
+        os.utime(lock, (old, old))
+        (path.parent / f"{path.name}.tmp999999").write_text('{"torn":')
+
+        fresh = CampaignManifest.open(path, "wedged", DIGEST)
+        fresh.mark_done("cell-1", {"i": 1}, cached=False, elapsed=0.1)
+        fresh.flush()  # breaks the stale lock rather than timing out
+        final = CampaignManifest.open(path, "wedged", DIGEST)
+        assert set(final.cells) == {"cell-0", "cell-1"}
+
+    def test_corrupt_disk_state_is_not_merged(self, tmp_path):
+        path = tmp_path / "corrupt.json"
+        m = CampaignManifest.open(path, "corrupt", DIGEST)
+        m.mark_done("cell-0", {"i": 0}, cached=False, elapsed=0.1)
+        m.flush()
+        path.write_text("{definitely not json")
+        m.mark_done("cell-1", {"i": 1}, cached=False, elapsed=0.1)
+        m.flush()  # re-read fails -> our in-memory state wins, file healed
+        final = CampaignManifest.open(path, "corrupt", DIGEST)
+        assert set(final.cells) == {"cell-0", "cell-1"}
+
+
+class TestRefresh:
+    def test_refresh_sees_other_writers(self, tmp_path):
+        a = _manifest(tmp_path)
+        b = _manifest(tmp_path)
+        a.mark_done("cell-a", {"i": 0}, cached=False, elapsed=0.1)
+        a.flush()
+        assert not b.is_done("cell-a")
+        b.refresh()
+        assert b.is_done("cell-a")
+
+    def test_refresh_skips_when_we_were_last_writer(self, tmp_path):
+        m = _manifest(tmp_path)
+        m.mark_done("cell-a", {"i": 0}, cached=False, elapsed=0.1)
+        m.flush()
+        mtime = m._disk_mtime_ns
+        m.refresh()  # no foreign write since our flush -> no re-read
+        assert m._disk_mtime_ns == mtime and m.is_done("cell-a")

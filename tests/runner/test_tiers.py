@@ -6,12 +6,15 @@ policy, whatever it picks -- produces identical results, identical cache
 keys, and **byte-identical** artifact files.
 """
 
+import os
+
 import pytest
 
 from repro.runner import (
     ResultCache,
     TIERS,
     TierDecision,
+    auto_jobs,
     choose_tier,
     run_many,
     sweep_specs,
@@ -180,6 +183,59 @@ class TestAutoPolicy:
         # fan-out upgrades itself to the shared-segment transport
         assert decisions[0].tier == "process+shm"
         assert len(cells) == len(grid)
+
+
+class TestAutoJobs:
+    """``jobs=None``: the worker count is sized to the host and the work."""
+
+    def test_degenerate_inputs_get_one_worker(self):
+        assert auto_jobs(0) == 1
+        assert auto_jobs(100, est_cell_s=0.0) == 1
+
+    def test_clamped_to_host_cpus_and_pending(self):
+        cpus = getattr(os, "process_cpu_count", os.cpu_count)() or 1
+        assert auto_jobs(10_000) == cpus
+        assert auto_jobs(2) <= 2
+        assert auto_jobs(10_000, est_cell_s=60.0) == cpus
+
+    def test_small_estimates_scale_the_count_down(self):
+        # one inline-budget of total compute: fan-out loses to a single
+        # worker no matter how many CPUs the host has
+        est = engine_mod.AUTO_INLINE_BUDGET_S / 100
+        assert auto_jobs(100, est_cell_s=est) == 1
+
+    def test_run_many_jobs_none_autotunes_and_stays_deterministic(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        grid = _grid()
+        cells = run_many(grid, jobs=None, cache=cache)
+        assert len(cells) == len(grid)
+        warm = run_many(grid, jobs=None, cache=ResultCache(cache.root))
+        assert [c.summary for c in warm] == [c.summary for c in cells]
+
+
+class TestSegmentReuse:
+    def test_provided_segment_is_not_repacked(self, tmp_path, monkeypatch):
+        """A caller-supplied ``segment_path`` (a campaign drain cuts one
+        per drain) must be used as-is: the engine never re-packs."""
+        from repro.trace.segment import write_segment
+
+        cache = ResultCache(tmp_path / "c")
+        specs = [
+            s.intern(cache.traces) if s.trace is not None else s for s in _grid()
+        ]
+        digests = {s.trace_ref for s in specs if s.trace_ref is not None}
+        segment = tmp_path / "drain.segment"
+        write_segment(segment, {d: cache.traces.get(d) for d in digests})
+
+        def _no_repack(*a, **k):
+            raise AssertionError("engine re-packed a segment it was given")
+
+        monkeypatch.setattr(engine_mod, "write_segment", _no_repack)
+        cells = run_many(
+            specs, jobs=2, cache=cache, tier="process+shm", segment_path=segment
+        )
+        assert len(cells) == len(specs)
+        assert segment.is_file()  # caller owns the lifecycle, not the pool
 
 
 def _explode_probe_guard():

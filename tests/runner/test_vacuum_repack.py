@@ -1,0 +1,126 @@
+"""``vacuum --repack``: legacy artifacts rewritten as the current format.
+
+Covers the three legacy shapes repack must normalise -- format-1 plain
+JSON, gzip with a timestamped header, and (vacuously) current files it
+must leave byte-untouched -- plus dry-run accounting.
+"""
+
+import gzip
+import json
+
+from repro.runner import CACHE_FORMAT, ResultCache, run_many
+from repro.runner.spec import ExperimentSpec
+
+SPEC = ExperimentSpec(
+    mesh_shape=(8, 8),
+    pattern="ring",
+    allocator="hilbert+bf",
+    load=1.0,
+    seed=3,
+    n_jobs=6,
+    runtime_scale=0.01,
+)
+
+TRACE_SPEC = ExperimentSpec(
+    mesh_shape=(8, 8),
+    pattern="ring",
+    allocator="s-curve",
+    load=0.9,
+    seed=3,
+    n_jobs=0,
+    trace=((0, 0.0, 4, 10.0), (1, 1.0, 8, 5.0)),
+)
+
+
+def _current_artifact(cache: ResultCache, spec=SPEC):
+    [result] = run_many([spec], cache=cache)
+    [path] = [p for p in cache._artifact_paths() if spec.cache_key(cache.traces) in p.name]
+    return result, path
+
+
+class TestRepack:
+    def test_timestamped_gzip_is_rewritten_to_canonical_bytes(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        _, path = _current_artifact(cache)
+        golden = path.read_bytes()
+        payload = gzip.decompress(golden)
+        # legacy writer: timestamped header + embedded filename (bigger)
+        with open(path, "wb") as raw:
+            with gzip.GzipFile(
+                filename="legacy-artifact-name.json", fileobj=raw,
+                mode="wb", compresslevel=6, mtime=123456789,
+            ) as fh:
+                fh.write(payload)
+        assert path.read_bytes() != golden
+
+        report = ResultCache(cache.root).vacuum(repack=True)
+        assert report.repacked_artifacts == 1
+        assert report.corrupt_artifacts == 0
+        assert path.read_bytes() == golden
+        assert report.repack_bytes_saved > 0  # FNAME + weaker compression
+
+    def test_format1_json_is_rewritten_and_trace_interned(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        [result] = run_many([TRACE_SPEC], cache=cache)
+        key = TRACE_SPEC.cache_key(cache.traces)
+        gz_path = cache.root / f"{key}.json.gz"
+        golden = gz_path.read_bytes()
+        # devolve to a pre-refactor cache: plain JSON, inline trace,
+        # no workload store
+        legacy = {"format": 1, **result.to_dict()}
+        legacy["spec"] = TRACE_SPEC.to_dict()  # inline rows, no trace_ref
+        (cache.root / f"{key}.json").write_text(json.dumps(legacy))
+        gz_path.unlink()
+        for digest in list(cache.traces.digests()):
+            cache.traces.remove(digest)
+
+        fresh = ResultCache(cache.root)
+        report = fresh.vacuum(repack=True, orphan_grace_days=0.0)
+        assert report.repacked_artifacts == 1
+        # old plain-JSON file replaced by the current-format name...
+        assert not (cache.root / f"{key}.json").is_file()
+        assert gz_path.read_bytes() == golden
+        # ...its inline trace interned, and NOT swept as an orphan in
+        # the same pass even with zero grace
+        assert report.orphan_traces == 0
+        assert len(fresh.traces) == 1
+        # the rewritten artifact still serves the spec
+        served = ResultCache(cache.root).get(TRACE_SPEC)
+        assert served is not None and served.summary == result.summary
+
+    def test_current_artifacts_are_left_byte_untouched(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        _, path = _current_artifact(cache)
+        before = (path.read_bytes(), path.stat().st_mtime_ns)
+        report = ResultCache(cache.root).vacuum(repack=True)
+        assert report.repacked_artifacts == 0
+        assert (path.read_bytes(), path.stat().st_mtime_ns) == before
+
+    def test_dry_run_counts_without_touching(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        _, path = _current_artifact(cache)
+        payload = gzip.decompress(path.read_bytes())
+        with open(path, "wb") as raw:
+            with gzip.GzipFile(fileobj=raw, mode="wb", mtime=999) as fh:
+                fh.write(payload)
+        legacy_bytes = path.read_bytes()
+
+        report = ResultCache(cache.root).vacuum(repack=True, dry_run=True)
+        assert report.repacked_artifacts == 1
+        assert report.repack_bytes_saved == 0  # nothing rewritten
+        assert path.read_bytes() == legacy_bytes
+
+    def test_vacuum_without_repack_ignores_legacy(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        _, path = _current_artifact(cache)
+        payload = gzip.decompress(path.read_bytes())
+        with open(path, "wb") as raw:
+            with gzip.GzipFile(fileobj=raw, mode="wb", mtime=999) as fh:
+                fh.write(payload)
+        legacy_bytes = path.read_bytes()
+        report = ResultCache(cache.root).vacuum()
+        assert report.repacked_artifacts == 0
+        assert path.read_bytes() == legacy_bytes
+
+    def test_cache_format_is_current(self):
+        assert CACHE_FORMAT == 2
