@@ -1,7 +1,16 @@
 """Analysis utilities: correlations (Figs 1/9/10), table formatting, and
-cached-sweep loading from the :mod:`repro.runner` artifact store."""
+cached-sweep loading from the :mod:`repro.runner` artifact store, and
+per-tenant fairness metrics (:mod:`repro.analysis.fairness`)."""
 
 from repro.analysis.correlation import linear_fit, pearson_r, spearman_r
+from repro.analysis.fairness import (
+    FairnessSummary,
+    fairness_summary,
+    format_fairness_panel,
+    jains_index,
+    max_min_ratio,
+    tenant_slowdowns,
+)
 from repro.analysis.tables import format_cached_sweep, format_table, load_cached_sweep
 
 __all__ = [
@@ -11,4 +20,10 @@ __all__ = [
     "format_table",
     "load_cached_sweep",
     "format_cached_sweep",
+    "jains_index",
+    "max_min_ratio",
+    "tenant_slowdowns",
+    "FairnessSummary",
+    "fairness_summary",
+    "format_fairness_panel",
 ]

@@ -51,8 +51,10 @@ from repro.campaign.model import (
 )
 from repro.campaign.report import (
     REPORT_FORMATS,
+    export_fairness_report,
     export_report,
     format_campaign_report,
+    format_fairness_report,
     format_campaign_status,
     format_expansion,
 )
@@ -232,6 +234,30 @@ def _report(args) -> int:
         print("report needs the artifact cache (drop --no-cache)", file=sys.stderr)
         return 2
     expansion = expand(campaign, store=cache.traces)
+    if args.fairness:
+        shaping = [
+            flag
+            for flag, value in (
+                ("--group-by", args.group_by),
+                ("--rows", args.rows),
+                ("--cols", args.cols),
+            )
+            if value is not None
+        ]
+        if args.metric != "mean_response":
+            shaping.append("--metric")
+        if shaping:
+            print(
+                f"{'/'.join(shaping)} do not apply to the fairness panel "
+                "(it is always grouped by scheduler x allocator x load)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.format != "table":
+            print(export_fairness_report(expansion, cache, fmt=args.format))
+        else:
+            print(format_fairness_report(expansion, cache))
+        return 0
     if args.format != "table":
         # json/csv are the flat per-cell records; the pivot-shaping
         # flags only apply to tables, so passing them is a mistake the
@@ -442,6 +468,13 @@ def main(argv: list[str] | None = None) -> int:
         choices=REPORT_FORMATS,
         help="output format: human tables, or json/csv cell records for "
         "notebooks (default: table)",
+    )
+    p_report.add_argument(
+        "--fairness",
+        action="store_true",
+        help="per-tenant fairness panel (slowdown p50/p95/p99/max, "
+        "max-min ratio, Jain's index) grouped by scheduler x allocator "
+        "x load instead of the metric pivot",
     )
 
     p_prune = sub.add_parser(

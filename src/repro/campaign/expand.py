@@ -164,6 +164,10 @@ def _resolve_swf_path(source: TraceSource, base_dir: Path | None) -> Path:
             from repro.trace.archive import bundled_mini_swf
 
             return bundled_mini_swf()
+        if name in ("sdsc-mini-users", "sdsc_mini_users"):
+            from repro.trace.archive import bundled_mini_swf_users
+
+            return bundled_mini_swf_users()
         raise CampaignError(
             f"unknown bundled SWF fixture {name!r} in workload {source.label!r}; "
             f"bundled fixtures: {list(BUNDLED_SWF)}"
@@ -283,7 +287,14 @@ def expand(
             expansion.n_excluded += 1
             continue
 
-        settings = {"seed": 1, "scheduler": "fcfs", "n_jobs": 0, "runtime_scale": 1.0}
+        settings = {
+            "seed": 1,
+            "scheduler": "fcfs",
+            "n_jobs": 0,
+            "runtime_scale": 1.0,
+            "priority": None,
+            "n_users": 0,
+        }
         settings.update(campaign.defaults)
         for ov in campaign.overrides:
             if _matches(ov.when, coords):
@@ -324,6 +335,11 @@ def expand(
                 "n_jobs": int(settings["n_jobs"]),
                 "runtime_scale": float(settings["runtime_scale"]),
             }
+            # Tenancy only shapes *generated* traces; explicit traces
+            # carry their own user ids, so the knob stays out of their
+            # specs (and cache keys).
+            if int(settings["n_users"]):
+                workload["n_users"] = int(settings["n_users"])
         else:
             if source not in source_cache:
                 source_cache[source] = _resolve_source(
@@ -343,6 +359,7 @@ def expand(
                 load=float(raw["load"]),
                 seed=int(raw.get("seed", settings["seed"])),
                 scheduler=raw.get("scheduler", settings["scheduler"]),
+                priority=raw.get("priority", settings["priority"]),
                 network=_network_fragment(settings),
                 **workload,
             )

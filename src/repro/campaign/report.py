@@ -29,7 +29,10 @@ __all__ = [
     "completed_cells",
     "completed_rows",
     "export_report",
+    "export_fairness_report",
+    "fairness_rows",
     "format_campaign_report",
+    "format_fairness_report",
     "format_campaign_status",
     "format_expansion",
     "REPORT_FORMATS",
@@ -348,6 +351,153 @@ def _contiguity_panel(pairs, group_by: str, group_values, metric: str) -> str:
             "ratio near 1 = placement stopped mattering"
         ),
     )
+
+
+# ----------------------------------------------------------------------
+# Fairness panels (per-tenant slowdown, max-min ratio, Jain's index)
+# ----------------------------------------------------------------------
+
+#: Metric columns of a fairness row, in report order.
+FAIRNESS_COLUMNS = ("tenants", "p50", "p95", "p99", "max", "max_min", "jain")
+
+
+def _fairness_pairs(
+    expansion: Expansion, cache: ResultCache
+) -> tuple[list[tuple[CampaignCell, list]], int]:
+    """``(cell, [JobResult, ...])`` for every completed cell.
+
+    Unlike :func:`completed_cells` this needs the per-job records, so it
+    reads full artifacts (:meth:`ResultCache.get`) -- the packed columns
+    decode to job results without rerunning anything.
+    """
+    pairs = []
+    missing = 0
+    for cell in expansion.cells:
+        try:
+            result = cache.get(cell.spec)
+        except KeyError:
+            result = None
+        if result is None:
+            missing += 1
+            continue
+        pairs.append((cell, result.jobs))
+    return pairs, missing
+
+
+def _fairness_metrics(jobs) -> dict:
+    from repro.analysis.fairness import fairness_summary
+
+    s = fairness_summary(jobs)
+    return {
+        "tenants": s.n_tenants,
+        "p50": s.p50,
+        "p95": s.p95,
+        "p99": s.p99,
+        "max": s.max,
+        "max_min": s.max_min,
+        "jain": s.jain,
+    }
+
+
+def fairness_rows(
+    expansion: Expansion, cache: ResultCache
+) -> tuple[list[dict], int]:
+    """One flat fairness record per completed cell.
+
+    Each row carries the cell's axis coordinates plus the per-tenant
+    slowdown distribution (p50/p95/p99/max over per-tenant means), the
+    max-min ratio and Jain's index -- the machine-readable form behind
+    ``report --fairness --format json|csv``.
+    """
+    pairs, missing = _fairness_pairs(expansion, cache)
+    rows = []
+    for cell, jobs in pairs:
+        row = dict(cell.coords)
+        row.update(_fairness_metrics(jobs))
+        rows.append(row)
+    return rows, missing
+
+
+def export_fairness_report(
+    expansion: Expansion, cache: ResultCache, fmt: str = "json"
+) -> str:
+    """Machine-readable fairness records (``report --fairness``).
+
+    Same envelope as :func:`export_report`: JSON wraps the per-cell
+    records with campaign name, axis order and completion counts; CSV is
+    the bare records (axes in declaration order, fairness metrics last).
+    """
+    rows, missing = fairness_rows(expansion, cache)
+    if fmt == "json":
+        payload = {
+            "campaign": expansion.campaign.name,
+            "axes": expansion.axis_names,
+            "metric": "fairness",
+            "completed": len(rows),
+            "pending": missing,
+            "cells": rows,
+        }
+        return json.dumps(payload, indent=2, sort_keys=False)
+    if fmt == "csv":
+        out = io.StringIO()
+        writer = csv.DictWriter(
+            out, fieldnames=expansion.axis_names + list(FAIRNESS_COLUMNS)
+        )
+        writer.writeheader()
+        writer.writerows(rows)
+        return out.getvalue().rstrip("\n")
+    raise ValueError(f"unknown report format {fmt!r}; known: {list(REPORT_FORMATS)}")
+
+
+def format_fairness_report(expansion: Expansion, cache: ResultCache) -> str:
+    """The fairness panel: who waits, grouped by scheduler x allocator x load.
+
+    One table per machine (and, when a workload axis exists, per
+    workload): rows are the scheduler x allocator x load combinations in
+    expansion order, with job lists *merged* across every remaining axis
+    (pattern, seed) before computing the per-tenant distribution -- so a
+    combination's tenants are judged on all of their jobs in that
+    context.  Columns answer the campaign's question directly: does p99
+    slowdown stay flat (and Jain's index near 1) as load rises?
+    """
+    pairs, missing = _fairness_pairs(expansion, cache)
+    header = (
+        f"{expansion.summary()}\n"
+        f"fairness report over {len(pairs)} completed cells"
+        + (f" ({missing} pending -- run the campaign to fill them in)" if missing else "")
+    )
+    if not pairs:
+        return header
+    axis_names = expansion.axis_names
+    machine_axis = next(
+        (a for a in ("mesh", "topology") if a in axis_names), axis_names[0]
+    )
+    context_axes = [machine_axis] + (["workload"] if "workload" in axis_names else [])
+    combo_axes = [a for a in ("scheduler", "allocator", "load") if a in axis_names]
+    merged: dict[tuple, dict[tuple, list]] = {}
+    for cell, jobs in pairs:
+        context = tuple(cell.coords[a] for a in context_axes)
+        combo = tuple(cell.coords[a] for a in combo_axes)
+        merged.setdefault(context, {}).setdefault(combo, []).extend(jobs)
+    blocks = [header]
+    for context, combos in merged.items():
+        rows = []
+        for combo, jobs in combos.items():
+            row = dict(zip(combo_axes, combo))
+            row.update(_fairness_metrics(jobs))
+            rows.append(row)
+        title = "per-tenant slowdown -- " + ", ".join(
+            f"{axis} = {value}" for axis, value in zip(context_axes, context)
+        )
+        blocks.append(
+            format_table(
+                rows,
+                columns=combo_axes + list(FAIRNESS_COLUMNS),
+                float_fmt=".2f",
+                title=title,
+            )
+        )
+    return "\n\n".join(blocks)
 
 
 def _mesh_comparison(pairs, meshes, metric: str) -> str:

@@ -157,6 +157,11 @@ def unpack_job_results(cols: dict, base_jobs: list[Job]) -> list[JobResult]:
                 n_components=cols["n_components"][i],
                 message_pairs=pairs,
                 held=held_col[i] if held_col is not None else j.size,
+                # Tenancy is fully determined by the spec's built jobs, so
+                # packed artifacts never store it (no new columns; legacy
+                # bytes unchanged).
+                user_id=j.user_id,
+                priority_class=j.priority_class,
             )
         )
     return out

@@ -31,6 +31,7 @@ from repro.mesh.clos import topology_label
 from repro.mesh.topology import Topology, mesh_from_shape
 from repro.network.fluid import NetworkParams
 from repro.sched.job import Job, JobResult
+from repro.sched.registry import apply_priority, validate_priority
 from repro.sched.stats import RunSummary
 from repro.trace.store import TraceStore, canonical_trace, default_store, trace_digest
 
@@ -41,8 +42,10 @@ __all__ = [
     "summary_from_dict",
 ]
 
-#: Serialized base-trace row: (job_id, arrival, size, runtime).
-TraceRow = tuple[int, float, int, float]
+#: Serialized base-trace row: (job_id, arrival, size, runtime) with
+#: optional trailing (user_id, priority_class) tenancy columns (see
+#: repro.trace.store.TraceRow).
+TraceRow = tuple
 
 _HEX_DIGITS = set("0123456789abcdef")
 
@@ -98,7 +101,21 @@ class ExperimentSpec:
         pairs (see :meth:`from_network_params`); ``None`` means the
         default :class:`~repro.network.fluid.NetworkParams`.
     scheduler:
-        ``"fcfs"`` (the paper) or ``"easy"`` (backfilling extension).
+        A discipline from :mod:`repro.sched.registry`: ``"fcfs"`` (the
+        paper), ``"easy"`` (backfilling extension), ``"wfq"`` (weighted
+        fair over priority classes) or ``"drr"`` (deficit round-robin
+        over tenants).
+    priority:
+        Optional priority policy (``"user:<k>"`` / ``"rr:<k>"``, see
+        :func:`repro.sched.registry.apply_priority`) assigning
+        ``priority_class`` to the built jobs.  ``None`` (the default,
+        omitted from the serialized form so legacy cache keys are
+        unchanged) keeps the trace's own classes.
+    n_users:
+        Synthetic tenancy: assign each generated job a deterministic
+        tenant in ``[0, n_users)``.  0 (default, omitted when default)
+        leaves synthetic jobs tenant-free; ignored for explicit traces,
+        which carry their own user ids.
     """
 
     mesh_shape: tuple[int, ...]
@@ -114,6 +131,8 @@ class ExperimentSpec:
     torus: bool = False
     trace_ref: str | None = None
     topology: str | None = None
+    priority: str | None = None
+    n_users: int = 0
 
     def __post_init__(self) -> None:
         # Normalise list inputs so hashing/equality always work.  Trace
@@ -156,6 +175,9 @@ class ExperimentSpec:
             )
         if self.trace is None and self.trace_ref is None and self.n_jobs < 1:
             raise ValueError("specs without an explicit trace need n_jobs >= 1")
+        validate_priority(self.priority)
+        if self.n_users < 0:
+            raise ValueError(f"n_users must be >= 0, got {self.n_users!r}")
 
     # -- workload ------------------------------------------------------
     @property
@@ -192,14 +214,17 @@ class ExperimentSpec:
         )
 
         if self.has_explicit_trace:
-            rows = self.base_trace(store)
-            base = [Job(int(j), float(a), int(s), float(r)) for j, a, s, r in rows]
+            base = [_job_from_row(row) for row in self.base_trace(store)]
         else:
             base = sdsc_paragon_trace(
-                seed=self.seed, n_jobs=self.n_jobs, runtime_scale=self.runtime_scale
+                seed=self.seed,
+                n_jobs=self.n_jobs,
+                runtime_scale=self.runtime_scale,
+                n_users=self.n_users,
             )
         n_nodes = math.prod(self.mesh_shape)
-        return apply_load_factor(drop_oversized(base, n_nodes), self.load)
+        jobs = apply_load_factor(drop_oversized(base, n_nodes), self.load)
+        return apply_priority(jobs, self.priority)
 
     # -- machine construction ------------------------------------------
     def build_machine_topology(self) -> Topology:
@@ -306,6 +331,10 @@ class ExperimentSpec:
             out["trace_ref"] = self.trace_ref
         if self.topology is not None:
             out["topology"] = self.topology
+        if self.priority is not None:
+            out["priority"] = self.priority
+        if self.n_users:
+            out["n_users"] = self.n_users
         return out
 
     @classmethod
@@ -329,6 +358,8 @@ class ExperimentSpec:
             torus=data.get("torus", False),
             trace_ref=data.get("trace_ref"),
             topology=data.get("topology"),
+            priority=data.get("priority"),
+            n_users=data.get("n_users", 0),
         )
 
     def cache_key(self, store: TraceStore | None = None) -> str:
@@ -352,8 +383,15 @@ class ExperimentSpec:
 
     @staticmethod
     def from_trace(jobs: list[Job]) -> tuple[TraceRow, ...]:
-        """Serialize an explicit base trace for the ``trace`` field."""
-        return canonical_trace((j.job_id, j.arrival, j.size, j.runtime) for j in jobs)
+        """Serialize an explicit base trace for the ``trace`` field.
+
+        Tenancy columns are emitted only when non-default (the canonical
+        collapse), so tenant-free traces keep their legacy row bytes.
+        """
+        return canonical_trace(
+            (j.job_id, j.arrival, j.size, j.runtime, j.user_id, j.priority_class)
+            for j in jobs
+        )
 
 
 # ----------------------------------------------------------------------
@@ -374,11 +412,34 @@ def summary_from_dict(data: dict) -> RunSummary:
     return RunSummary(**data)
 
 
+def _job_from_row(row) -> Job:
+    """A Job from a 4-, 5- or 6-column canonical trace row."""
+    return Job(
+        int(row[0]),
+        float(row[1]),
+        int(row[2]),
+        float(row[3]),
+        user_id=int(row[4]) if len(row) > 4 else -1,
+        priority_class=int(row[5]) if len(row) > 5 else 0,
+    )
+
+
 _JOB_FIELDS = [f.name for f in fields(JobResult)]
+
+#: Trailing JobResult fields dropped from the serialized row while at
+#: their defaults (newest last).  Keeps full-row artifacts written before
+#: a field existed byte-identical -- the same sentinel idea as ``held``.
+_JOB_TAIL_DEFAULTS = (("priority_class", 0), ("user_id", -1))
 
 
 def _job_to_list(job: JobResult) -> list:
-    return [getattr(job, name) for name in _JOB_FIELDS]
+    values = [getattr(job, name) for name in _JOB_FIELDS]
+    for name, default in _JOB_TAIL_DEFAULTS:
+        if values[-1] == default and _JOB_FIELDS[len(values) - 1] == name:
+            values.pop()
+        else:
+            break
+    return values
 
 
 def _job_from_list(values: list) -> JobResult:

@@ -11,6 +11,16 @@ trace-driven simulator behind Figs 7/8/9/10/11.
 from repro.sched.events import EventQueue
 from repro.sched.fcfs import FCFSQueue
 from repro.sched.job import Job, JobResult
+from repro.sched.registry import (
+    DRRQueue,
+    WFQQueue,
+    apply_priority,
+    class_weight,
+    make_discipline,
+    scheduler_names,
+    validate_priority,
+    validate_scheduler,
+)
 from repro.sched.simulator import Simulation, SimulationResult
 from repro.sched.stats import summarize
 
@@ -22,4 +32,12 @@ __all__ = [
     "Simulation",
     "SimulationResult",
     "summarize",
+    "scheduler_names",
+    "validate_scheduler",
+    "make_discipline",
+    "class_weight",
+    "validate_priority",
+    "apply_priority",
+    "WFQQueue",
+    "DRRQueue",
 ]

@@ -34,6 +34,7 @@ from repro.network.links import link_space_for
 from repro.network.traffic import build_load_vector, mean_message_hops
 from repro.sched.fcfs import FCFSQueue
 from repro.sched.job import Job, JobResult
+from repro.sched.registry import make_discipline
 
 __all__ = ["run_loop"]
 
@@ -130,7 +131,11 @@ def run_loop(sim) -> "SimulationResult":
 
     machine = Machine(sim.mesh)
     network = _LoopFluidNetwork(sim.mesh, sim.params)
-    queue = FCFSQueue()
+    # Registry disciplines are shared, pure-Python policy objects; calling
+    # the same code at the same event points is what keeps this engine
+    # bit-identical to the vectorised one under wfq/drr.
+    policy = make_discipline(sim.scheduler, sim.jobs)
+    queue = FCFSQueue() if policy is None else policy
     active: dict[int, _ActiveJob] = {}
     results: list[JobResult] = []
     spawned = np.random.SeedSequence(sim.seed).spawn(len(sim.jobs))
@@ -211,6 +216,8 @@ def run_loop(sim) -> "SimulationResult":
         return started
 
     def start_eligible() -> bool:
+        if policy is not None:
+            return policy.start_jobs(try_start)
         started = False
         while queue and try_start(queue.head()):
             queue.pop_head()
@@ -289,6 +296,8 @@ def run_loop(sim) -> "SimulationResult":
                     n_components=rec.n_components,
                     message_pairs=rec.message_pairs,
                     held=len(rec.held),
+                    user_id=rec.job.user_id,
+                    priority_class=rec.job.priority_class,
                 )
             )
             changed = True

@@ -25,18 +25,31 @@ class Job:
         simulator does not use this as a duration: the job sends
         ``quota = round(runtime)`` messages (one per second of trace
         runtime) and terminates when they have all arrived.
+    user_id:
+        Submitting tenant (SWF field 12, or the synthetic generator's
+        deterministic assignment).  ``-1`` is the SWF "unknown" sentinel
+        and the default, so tenancy-free traces are unchanged.
+    priority_class:
+        Service class for the weighted-fair queueing disciplines
+        (``0`` = default class; higher classes get more weight -- see
+        :func:`repro.sched.registry.class_weight`).  Assigned by the
+        spec's priority policy or carried explicitly in the trace.
     """
 
     job_id: int
     arrival: float
     size: int
     runtime: float
+    user_id: int = -1
+    priority_class: int = 0
 
     def __post_init__(self) -> None:
         if self.size < 1:
             raise ValueError(f"job {self.job_id}: size must be >= 1")
         if self.runtime < 0 or self.arrival < 0:
             raise ValueError(f"job {self.job_id}: negative time")
+        if self.priority_class < 0:
+            raise ValueError(f"job {self.job_id}: priority_class must be >= 0")
 
     @property
     def quota(self) -> int:
@@ -67,6 +80,10 @@ class JobResult:
     integer ratios -- ``pairwise_hops * size*(size-1)/2`` and
     ``message_hops * message_pairs`` are whole hop counts, which is what
     lets cache artifacts store them losslessly as integers.
+
+    ``user_id`` / ``priority_class`` carry the submitting job's tenancy
+    (see :class:`Job`); legacy records predating the fields decode with
+    the defaults ``-1`` / ``0``.
     """
 
     job_id: int
@@ -80,6 +97,8 @@ class JobResult:
     n_components: int
     message_pairs: int = 0
     held: int = 0
+    user_id: int = -1
+    priority_class: int = 0
 
     @property
     def response(self) -> float:
@@ -95,6 +114,16 @@ class JobResult:
     def duration(self) -> float:
         """Service (running) time."""
         return self.completion - self.start
+
+    @property
+    def slowdown(self) -> float:
+        """Wait-inclusive slowdown: response over the quota floor.
+
+        The fairness panels aggregate this per tenant; unlike ``stretch``
+        it charges queueing delay, so a discipline that starves a tenant
+        shows up even when its jobs run uncontended once started.
+        """
+        return self.response / self.quota
 
     @property
     def contiguous(self) -> bool:

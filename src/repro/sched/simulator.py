@@ -47,6 +47,7 @@ from repro.network.traffic import pattern_flow_profile
 from repro.patterns.base import Pattern
 from repro.sched.fcfs import FCFSQueue
 from repro.sched.job import Job, JobResult
+from repro.sched.registry import make_discipline, validate_scheduler
 
 __all__ = ["Simulation", "SimulationResult"]
 
@@ -268,15 +269,12 @@ class Simulation:
         self.params = params or NetworkParams()
         self.seed = seed
         self.load_factor = load_factor
-        if scheduler not in ("fcfs", "easy"):
-            raise ValueError(
-                f"scheduler must be 'fcfs' or 'easy', got {scheduler!r}"
-            )
         # "easy" enables EASY backfilling (extension; the paper is strictly
         # FCFS): queued jobs behind a blocked head may start if, under the
         # optimistic quota-seconds runtime estimate, they cannot delay the
-        # head's capacity reservation.
-        self.scheduler = scheduler
+        # head's capacity reservation.  "wfq"/"drr" swap the FIFO for a
+        # fairness discipline from repro.sched.registry.
+        self.scheduler = validate_scheduler(scheduler)
         if engine not in ("vector", "loop"):
             raise ValueError(
                 f"engine must be 'vector' or 'loop', got {engine!r}"
@@ -301,7 +299,10 @@ class Simulation:
     def _run_vector(self) -> SimulationResult:
         machine = Machine(self.mesh)
         network = FluidNetwork(self.mesh, self.params)
-        queue = FCFSQueue()
+        # Registry disciplines (wfq/drr) replace the FIFO wholesale; they
+        # duck-type submit/head/__len__/__bool__ and own job selection.
+        policy = make_discipline(self.scheduler, self.jobs)
+        queue = FCFSQueue() if policy is None else policy
         table = _ActiveTable()
         records: dict[int, _ActiveJob] = {}
         results: list[JobResult] = []
@@ -404,6 +405,8 @@ class Simulation:
 
         def start_eligible() -> bool:
             """Start queued jobs per the scheduling policy."""
+            if policy is not None:
+                return policy.start_jobs(try_start)
             started = False
             while queue and try_start(queue.head()):
                 queue.pop_head()
@@ -500,6 +503,8 @@ class Simulation:
                         n_components=rec.n_components,
                         message_pairs=rec.message_pairs,
                         held=len(rec.held),
+                        user_id=rec.job.user_id,
+                        priority_class=rec.job.priority_class,
                     )
                 )
                 changed = True

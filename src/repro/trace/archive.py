@@ -31,7 +31,7 @@ from __future__ import annotations
 import gzip
 import shutil
 import urllib.request
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 
 from repro.sched.job import Job
@@ -43,6 +43,7 @@ __all__ = [
     "IngestResult",
     "NormalizeReport",
     "bundled_mini_swf",
+    "bundled_mini_swf_users",
     "fetch_pwa_log",
     "ingest_swf",
     "normalize_jobs",
@@ -72,6 +73,18 @@ def bundled_mini_swf() -> Path:
     paths are exercised end-to-end without the network.
     """
     return Path(__file__).parent / "data" / "sdsc_mini.swf"
+
+
+def bundled_mini_swf_users() -> Path:
+    """Tenant-bearing twin of :func:`bundled_mini_swf`.
+
+    Identical job records with SWF field 12 (user id) assigned
+    deterministically (``job_number % 7``), plus one malformed and one
+    negative user field so the counted-default path is exercised.  The
+    original fixture is kept byte-identical -- its trace digest is pinned
+    by the figswf goldens.
+    """
+    return Path(__file__).parent / "data" / "sdsc_mini_users.swf"
 
 
 def fetch_pwa_log(name_or_url: str, dest_dir: str | Path = ".", timeout: float = 60.0) -> Path:
@@ -138,8 +151,7 @@ def _rebase(jobs: list[Job]) -> list[Job]:
         return []
     t0 = jobs[0].arrival
     return [
-        Job(job_id=i, arrival=j.arrival - t0, size=j.size, runtime=j.runtime)
-        for i, j in enumerate(jobs)
+        replace(j, job_id=i, arrival=j.arrival - t0) for i, j in enumerate(jobs)
     ]
 
 
@@ -171,7 +183,7 @@ def normalize_jobs(
                 continue
             if report is not None:
                 report.n_clamped += 1
-            j = Job(job_id=j.job_id, arrival=j.arrival, size=max_size, runtime=j.runtime)
+            j = replace(j, size=max_size)
         out.append(j)
     out = _rebase(out)
     if report is not None:
@@ -191,7 +203,8 @@ def scale_times(jobs: list[Job], factor: float) -> list[Job]:
     if factor == 1.0:
         return list(jobs)
     return [
-        Job(j.job_id, j.arrival * factor, j.size, j.runtime * factor) for j in jobs
+        replace(j, arrival=j.arrival * factor, runtime=j.runtime * factor)
+        for j in jobs
     ]
 
 
@@ -231,7 +244,7 @@ def rescale_to_offered_load(
     factor = current / target
     if report is not None:
         report.arrival_scale *= factor
-    return [Job(j.job_id, j.arrival * factor, j.size, j.runtime) for j in jobs]
+    return [replace(j, arrival=j.arrival * factor) for j in jobs]
 
 
 def prepare_trace(
@@ -262,8 +275,16 @@ def prepare_trace(
 
 
 def trace_rows(jobs: list[Job]):
-    """Store/spec row form of a job list (type-normalised tuples)."""
-    return canonical_trace((j.job_id, j.arrival, j.size, j.runtime) for j in jobs)
+    """Store/spec row form of a job list (type-normalised tuples).
+
+    Tenancy columns (user_id, priority_class) are carried only when
+    non-default -- :func:`repro.trace.store.canonical_trace` collapses
+    trailing defaults, so tenant-free traces keep their legacy digests.
+    """
+    return canonical_trace(
+        (j.job_id, j.arrival, j.size, j.runtime, j.user_id, j.priority_class)
+        for j in jobs
+    )
 
 
 @dataclass

@@ -16,16 +16,22 @@ Segment layout (little-endian)::
 
     6 bytes   magic  b"RSEG1\\n"
     8 bytes   uint64 index length in bytes
-    n bytes   index JSON: {digest: [payload offset, row count]}
-    ...       payload: per trace, four contiguous columns of
+    n bytes   index JSON: {digest: [payload offset, row count] or
+                                   [payload offset, row count, width]}
+    ...       payload: per trace, ``width`` contiguous columns of
               job_id int64[n] | arrival f8[n] | size int64[n] | runtime f8[n]
+              [| user_id int64[n] [| priority_class int64[n]]]
 
 Columns round-trip exactly: the store's canonical row form is
-``(int, float, int, float)`` and both int64 and IEEE binary64 represent
-those values losslessly, so a segment-hydrated trace is tuple-identical
-to a :meth:`~repro.trace.store.TraceStore.get` of the same digest --
-which is what keeps cache keys and artifacts byte-identical across
-execution tiers.
+``(int, float, int, float[, user_id[, priority_class]])`` and both int64
+and IEEE binary64 represent those values losslessly, so a
+segment-hydrated trace is tuple-identical to a
+:meth:`~repro.trace.store.TraceStore.get` of the same digest -- which is
+what keeps cache keys and artifacts byte-identical across execution
+tiers.  A two-entry index row means width 4, so segments of tenant-free
+traces are byte-identical to the pre-tenancy format; wider traces pad
+ragged canonical rows with the column defaults (``-1``/``0``) on write
+and re-collapse them on read.
 """
 
 from __future__ import annotations
@@ -45,8 +51,26 @@ __all__ = ["TraceSegment", "SegmentBackedStore", "write_segment", "SEGMENT_MAGIC
 #: Magic prefix identifying a packed trace segment file.
 SEGMENT_MAGIC = b"RSEG1\n"
 
-#: Per-column dtypes, in on-disk order.
-_COLUMNS = (("job_id", "<i8"), ("arrival", "<f8"), ("size", "<i8"), ("runtime", "<f8"))
+#: Per-column dtypes, in on-disk order; tenancy columns appear only in
+#: traces whose canonical rows carry them (index ``width`` > 4).
+_COLUMNS = (
+    ("job_id", "<i8"),
+    ("arrival", "<f8"),
+    ("size", "<i8"),
+    ("runtime", "<f8"),
+    ("user_id", "<i8"),
+    ("priority_class", "<i8"),
+)
+
+#: Pad values for the optional tenancy columns (canonical-row defaults).
+_TAIL_DEFAULTS = (-1, 0)
+
+
+def _pad_row(row, width: int) -> tuple:
+    """``row`` widened to ``width`` with the canonical tenancy defaults."""
+    if len(row) == width:
+        return tuple(row)
+    return tuple(row) + _TAIL_DEFAULTS[len(row) - 4 : width - 4]
 
 
 def write_segment(path: str | Path, traces: Mapping[str, tuple]) -> int:
@@ -61,12 +85,15 @@ def write_segment(path: str | Path, traces: Mapping[str, tuple]) -> int:
     offset = 0
     for digest in sorted(traces):
         rows = canonical_trace(traces[digest])
-        cols = list(zip(*rows)) if rows else [(), (), (), ()]
+        width = max((len(row) for row in rows), default=4)
+        cols = list(zip(*(_pad_row(row, width) for row in rows)))
+        if not cols:
+            cols = [()] * width
         blob = b"".join(
             np.asarray(col, dtype=dtype).tobytes()
             for col, (_, dtype) in zip(cols, _COLUMNS)
         )
-        index[digest] = [offset, len(rows)]
+        index[digest] = [offset, len(rows)] if width == 4 else [offset, len(rows), width]
         blobs.append(blob)
         offset += len(blob)
     index_bytes = json.dumps(index, sort_keys=True, separators=(",", ":")).encode()
@@ -123,15 +150,18 @@ class TraceSegment:
         entry = self._index.get(digest)
         if entry is None:
             raise KeyError(f"trace {digest} not in segment {self.path}")
-        offset, n_rows = entry
+        offset, n_rows = entry[0], entry[1]
+        width = entry[2] if len(entry) > 2 else 4
         start = self._payload_start + offset
         cols = []
-        for _, dtype in _COLUMNS:
+        for _, dtype in _COLUMNS[:width]:
             cols.append(np.frombuffer(self._mm, dtype=dtype, count=n_rows, offset=start))
             start += n_rows * 8
-        rows = tuple(
-            zip(cols[0].tolist(), cols[1].tolist(), cols[2].tolist(), cols[3].tolist())
-        )
+        full = zip(*(col.tolist() for col in cols))
+        # Wider traces were padded to rectangular columns on write;
+        # canonical_trace re-collapses trailing defaults so the tuples
+        # match the store's ragged canonical form exactly.
+        rows = tuple(full) if width == 4 else canonical_trace(full)
         self._memo[digest] = rows
         return rows
 

@@ -37,8 +37,12 @@ __all__ = [
     "TRACE_STORE_DIRNAME",
 ]
 
-#: Serialized base-trace row: (job_id, arrival, size, runtime).
-TraceRow = tuple[int, float, int, float]
+#: Serialized base-trace row: (job_id, arrival, size, runtime) optionally
+#: extended with (user_id, priority_class).  Rows collapse to the shortest
+#: form whose trailing fields are all defaults (priority_class 0, user_id
+#: -1), so tenancy-free traces keep their historical 4-column bytes and
+#: digests.
+TraceRow = tuple[int, float, int, float] | tuple[int, float, int, float, int] | tuple[int, float, int, float, int, int]
 
 #: Subdirectory of the cache root holding interned traces.
 TRACE_STORE_DIRNAME = "traces"
@@ -52,18 +56,39 @@ def default_cache_root() -> Path:
     return Path(os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR))
 
 
+def _canon_row(row) -> list:
+    """One normalised row, collapsed to drop trailing default tenancy."""
+    j, a, s, r = row[0], row[1], row[2], row[3]
+    user = int(row[4]) if len(row) > 4 else -1
+    cls = int(row[5]) if len(row) > 5 else 0
+    out = [int(j), float(a), int(s), float(r)]
+    if cls != 0:
+        out += [user, cls]
+    elif user != -1:
+        out.append(user)
+    return out
+
+
 def _canonical_rows(rows) -> list[list]:
-    """Type-normalised row lists (int, float, int, float), JSON-ready."""
-    return [[int(j), float(a), int(s), float(r)] for j, a, s, r in rows]
+    """Type-normalised row lists (int, float, int, float[, user, class])."""
+    return [_canon_row(row) for row in rows]
 
 
 def canonical_trace(rows) -> tuple[TraceRow, ...]:
     """The normalised tuple form of a trace (what specs and the store hold).
 
+    Tenancy columns appear only when non-default, so a trace without
+    tenant information is byte- and digest-identical to its historical
+    4-column form:
+
     >>> canonical_trace([(0, 0, "4", 10)])
     ((0, 0.0, 4, 10.0),)
+    >>> canonical_trace([(0, 0, 4, 10, 3), (1, 1, 2, 5, -1, 0)])
+    ((0, 0.0, 4, 10.0, 3), (1, 1.0, 2, 5.0))
+    >>> canonical_trace([(0, 0, 4, 10, -1, 2)])
+    ((0, 0.0, 4, 10.0, -1, 2),)
     """
-    return tuple((int(j), float(a), int(s), float(r)) for j, a, s, r in rows)
+    return tuple(tuple(row) for row in _canonical_rows(rows))
 
 
 def trace_digest(rows) -> str:

@@ -22,7 +22,7 @@ every experiment driver on it unchanged (``--trace path.swf`` in the CLI).
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Iterable, TextIO
 
@@ -71,6 +71,13 @@ class SwfParseReport:
     * ``"zero_size"`` -- a processor count of 0 (cancelled-before-start),
     * ``"missing_runtime"`` -- run time and requested time both unknown,
     * ``"missing_submit"`` -- negative/unknown submit time.
+
+    ``n_bad_users`` counts records whose user field (field 12) is not an
+    integer.  Those records are *kept* -- the job is usable, only its
+    tenancy is unknown -- but the default would otherwise be silent, and
+    a fairness panel grouping by user needs to know how many jobs fell
+    into the ``-1`` bucket because the log was malformed rather than
+    anonymous.
     """
 
     n_lines: int = 0
@@ -78,6 +85,7 @@ class SwfParseReport:
     n_records: int = 0
     n_jobs: int = 0
     n_padded: int = 0
+    n_bad_users: int = 0
     dropped: dict[str, int] = field(default_factory=dict)
 
     @property
@@ -96,6 +104,8 @@ class SwfParseReport:
             parts.append(f"dropped {self.n_dropped} ({detail})")
         if self.n_padded:
             parts.append(f"{self.n_padded} short lines padded")
+        if self.n_bad_users:
+            parts.append(f"{self.n_bad_users} malformed user ids defaulted to -1")
         return "; ".join(parts)
 
 
@@ -120,6 +130,16 @@ def _parse_record(parts: list[str], lineno: int, report: SwfParseReport) -> Job 
     procs = int(float(parts[4]))
     requested_procs = int(float(parts[7]))
     requested_time = float(parts[8])
+    try:
+        user = int(float(parts[11]))
+    except ValueError:
+        # Malformed (non-numeric) user field: the record is still a valid
+        # job, but its tenancy must be *counted* as unknown, not silently
+        # coerced (satellite: no silent defaulting).
+        user = -1
+        report.n_bad_users += 1
+    if user < 0:
+        user = -1  # spec sentinel for "unknown user"
 
     if procs < 0:
         procs = requested_procs  # -1 sentinel: fall back to the request
@@ -137,7 +157,7 @@ def _parse_record(parts: list[str], lineno: int, report: SwfParseReport) -> Job 
     if submit < 0:
         report._drop("missing_submit")
         return None
-    return Job(job_id=-1, arrival=submit, size=procs, runtime=run_time)
+    return Job(job_id=-1, arrival=submit, size=procs, runtime=run_time, user_id=user)
 
 
 def parse_swf(source: str | Path | TextIO) -> tuple[list[Job], SwfParseReport]:
@@ -182,8 +202,7 @@ def parse_swf(source: str | Path | TextIO) -> tuple[list[Job], SwfParseReport]:
     jobs.sort(key=lambda j: j.arrival)
     t0 = jobs[0].arrival if jobs else 0.0
     out = [
-        Job(job_id=i, arrival=j.arrival - t0, size=j.size, runtime=j.runtime)
-        for i, j in enumerate(jobs)
+        replace(j, job_id=i, arrival=j.arrival - t0) for i, j in enumerate(jobs)
     ]
     report.n_jobs = len(out)
     return out, report
@@ -222,4 +241,5 @@ def write_swf(
         fields[3] = int(round(job.runtime))
         fields[4] = job.size
         fields[7] = job.size
+        fields[11] = job.user_id
         dest.write(" ".join(str(f) for f in fields) + "\n")

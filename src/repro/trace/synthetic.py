@@ -12,7 +12,7 @@ implements the 16x16 adjustment: "using the same trace except for removing
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -54,6 +54,9 @@ class SyntheticTraceConfig:
     n_320_jobs: int = SDSC_N_320_JOBS
     power_of_two_share: float = 0.82
     min_runtime: float = 60.0
+    #: Tenants to assign deterministically (0 = no tenancy, the historical
+    #: behaviour: every job carries the unknown-user sentinel -1).
+    n_users: int = 0
 
     def __post_init__(self) -> None:
         if self.n_jobs < 1:
@@ -62,6 +65,8 @@ class SyntheticTraceConfig:
             raise ValueError("max_size must be >= 1")
         if self.n_320_jobs > self.n_jobs:
             raise ValueError("more 320-node jobs than jobs")
+        if self.n_users < 0:
+            raise ValueError("n_users must be >= 0")
 
 
 def synthetic_trace(config: SyntheticTraceConfig, seed: int = 0) -> list[Job]:
@@ -88,9 +93,18 @@ def synthetic_trace(config: SyntheticTraceConfig, seed: int = 0) -> list[Job]:
         slots = rng.choice(config.n_jobs, size=config.n_320_jobs, replace=False)
         size_draw[slots] = 320
 
+    # Tenants come from a *separate* stream so enabling tenancy never
+    # perturbs the arrival/size/runtime draws above -- an n_users=0 trace
+    # stays byte-identical to its historical form.
+    if config.n_users > 0:
+        user_rng = np.random.default_rng(np.random.SeedSequence([seed, 0x7E7A]))
+        users = user_rng.integers(0, config.n_users, size=config.n_jobs)
+    else:
+        users = np.full(config.n_jobs, -1)
+
     return [
-        Job(job_id=i, arrival=float(a), size=int(s), runtime=float(r))
-        for i, (a, s, r) in enumerate(zip(arrivals, size_draw, run_draw))
+        Job(job_id=i, arrival=float(a), size=int(s), runtime=float(r), user_id=int(u))
+        for i, (a, s, r, u) in enumerate(zip(arrivals, size_draw, run_draw, users))
     ]
 
 
@@ -98,6 +112,7 @@ def sdsc_paragon_trace(
     seed: int = 0,
     n_jobs: int = SDSC_N_JOBS,
     runtime_scale: float = 1.0,
+    n_users: int = 0,
 ) -> list[Job]:
     """The paper's workload: SDSC Paragon Q4-1996 statistics.
 
@@ -115,6 +130,10 @@ def sdsc_paragon_trace(
         interarrivals together leaves offered load invariant; the benchmark
         harness uses it to keep laptop runtimes small (see
         ``experiments/config.py``).
+    n_users:
+        When positive, assign each job a deterministic tenant in
+        ``[0, n_users)`` from a seed-derived stream independent of the
+        workload draws (fairness experiments); 0 leaves jobs tenant-free.
     """
     config = SyntheticTraceConfig(
         n_jobs=n_jobs,
@@ -122,6 +141,7 @@ def sdsc_paragon_trace(
         mean_runtime=SDSC_MEAN_RUNTIME * runtime_scale,
         min_runtime=max(60.0 * runtime_scale, 10.0),
         n_320_jobs=min(SDSC_N_320_JOBS, n_jobs),
+        n_users=n_users,
     )
     return synthetic_trace(config, seed=seed)
 
@@ -138,15 +158,7 @@ def apply_load_factor(jobs: list[Job], load_factor: float) -> list[Job]:
     """
     if load_factor <= 0:
         raise ValueError("load_factor must be positive")
-    return [
-        Job(
-            job_id=j.job_id,
-            arrival=j.arrival * load_factor,
-            size=j.size,
-            runtime=j.runtime,
-        )
-        for j in jobs
-    ]
+    return [replace(j, arrival=j.arrival * load_factor) for j in jobs]
 
 
 def drop_oversized(jobs: list[Job], n_nodes: int) -> list[Job]:

@@ -1,0 +1,139 @@
+"""Tests for repro.analysis.fairness: per-tenant metrics and panels."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.fairness import (
+    FairnessSummary,
+    fairness_summary,
+    format_fairness_panel,
+    jains_index,
+    max_min_ratio,
+    slowdown_percentiles,
+    tenant_rows,
+    tenant_slowdowns,
+)
+from repro.sched.job import JobResult
+
+
+def result(job_id, user_id, response, quota=10.0):
+    """A completed job with the given response time (arrival 0, no wait)."""
+    return JobResult(
+        job_id=job_id,
+        arrival=0.0,
+        start=0.0,
+        completion=response,
+        size=2,
+        quota=quota,
+        pairwise_hops=0.0,
+        message_hops=0.0,
+        n_components=1,
+        user_id=user_id,
+    )
+
+
+class TestJainsIndex:
+    def test_empty_is_perfectly_fair(self):
+        assert jains_index([]) == 1.0
+
+    def test_single_tenant_is_exactly_one(self):
+        assert jains_index([7.3]) == 1.0
+
+    def test_all_equal_is_exactly_one(self):
+        assert jains_index([2.5] * 9) == 1.0
+
+    def test_all_zero_is_fair(self):
+        assert jains_index([0.0, 0.0]) == 1.0
+
+    def test_one_dominant_approaches_reciprocal_n(self):
+        assert jains_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    @given(
+        st.lists(st.floats(min_value=0.01, max_value=1e6), min_size=1, max_size=32),
+        st.floats(min_value=0.01, max_value=1e3),
+    )
+    def test_scale_invariant_and_bounded(self, values, scale):
+        """Property: Jain's index lies in (0, 1] and is scale-invariant."""
+        index = jains_index(values)
+        assert 0.0 < index <= 1.0 + 1e-12
+        scaled = jains_index([scale * v for v in values])
+        assert index == pytest.approx(scaled, rel=1e-9)
+
+
+class TestMaxMinRatio:
+    def test_empty_and_even(self):
+        assert max_min_ratio([]) == 1.0
+        assert max_min_ratio([3.0, 3.0]) == 1.0
+
+    def test_ratio(self):
+        assert max_min_ratio([2.0, 8.0]) == 4.0
+
+    def test_starved_tenant_is_infinite(self):
+        assert math.isinf(max_min_ratio([0.0, 1.0]))
+
+
+class TestGrouping:
+    def test_empty_job_set(self):
+        summary = fairness_summary([])
+        assert summary == FairnessSummary(0, 0, 0.0, 0.0, 0.0, 0.0, 1.0, 1.0)
+
+    def test_sentinel_is_one_pseudo_tenant(self):
+        jobs = [result(i, -1, 20.0) for i in range(3)]
+        summary = fairness_summary(jobs)
+        assert summary.n_tenants == 1
+        assert summary.jain == 1.0
+        assert summary.max_min == 1.0
+
+    def test_tenant_slowdowns_sorted_keys(self):
+        jobs = [result(0, 4, 20.0), result(1, -1, 10.0), result(2, 0, 30.0)]
+        assert list(tenant_slowdowns(jobs)) == [-1, 0, 4]
+
+    def test_all_equal_slowdowns(self):
+        jobs = [result(i, i % 3, 25.0) for i in range(9)]
+        summary = fairness_summary(jobs)
+        assert summary.n_tenants == 3
+        assert summary.jain == pytest.approx(1.0)
+        assert summary.max_min == pytest.approx(1.0)
+        assert summary.p50 == summary.p99 == pytest.approx(2.5)
+
+    def test_uneven_service_shows_in_summary(self):
+        jobs = [result(0, 0, 10.0), result(1, 1, 40.0)]
+        summary = fairness_summary(jobs)
+        assert summary.max_min == pytest.approx(4.0)
+        assert summary.jain < 1.0
+        assert summary.max == pytest.approx(4.0)
+
+    def test_percentiles_over_tenant_means_not_jobs(self):
+        """One tenant with many fast jobs must not drown the slow tenant."""
+        jobs = [result(i, 0, 10.0) for i in range(99)] + [result(99, 1, 80.0)]
+        summary = fairness_summary(jobs)
+        assert summary.n_tenants == 2
+        # p50 over the two tenant means (1.0 and 8.0), not over 100 jobs.
+        assert summary.p50 == pytest.approx(4.5)
+
+
+class TestPercentiles:
+    def test_empty_sample(self):
+        assert slowdown_percentiles([]) == {
+            "p50": 0.0,
+            "p95": 0.0,
+            "p99": 0.0,
+            "max": 0.0,
+        }
+
+    def test_max_is_exact(self):
+        assert slowdown_percentiles([1.0, 2.0, 9.0])["max"] == 9.0
+
+
+class TestPanel:
+    def test_rows_and_footer(self):
+        jobs = [result(0, 0, 10.0), result(1, 1, 40.0), result(2, 1, 40.0)]
+        rows = tenant_rows(jobs)
+        assert [r["tenant"] for r in rows] == [0, 1]
+        assert [r["jobs"] for r in rows] == [1, 2]
+        panel = format_fairness_panel(jobs, title="t")
+        assert "tenants=2  jobs=3" in panel
+        assert "jain=" in panel and "max/min=4.00" in panel

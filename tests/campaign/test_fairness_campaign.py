@@ -1,0 +1,166 @@
+"""Tests for the fairness side of campaigns: the priority axis, tenant
+settings, and the per-tenant slowdown report."""
+
+import json
+
+import pytest
+
+from repro.campaign.__main__ import main
+from repro.campaign.expand import expand
+from repro.campaign.model import CampaignError, loads_campaign
+from repro.campaign.report import (
+    FAIRNESS_COLUMNS,
+    export_fairness_report,
+    fairness_rows,
+    format_fairness_report,
+)
+from repro.runner import ResultCache
+
+FAIRNESS_CAMPAIGN = """
+[campaign]
+name = "fairtest"
+
+[defaults]
+seed = 3
+n_jobs = 10
+runtime_scale = 0.01
+n_users = 4
+priority = "user:2"
+
+[axes]
+mesh = ["8x8"]
+pattern = ["ring"]
+load = [1.0]
+allocator = ["hilbert+bf"]
+scheduler = ["fcfs", "wfq", "drr"]
+"""
+
+
+@pytest.fixture
+def campaign_file(tmp_path):
+    path = tmp_path / "fairtest.toml"
+    path.write_text(FAIRNESS_CAMPAIGN)
+    return path
+
+
+@pytest.fixture
+def cache_dir(tmp_path):
+    return str(tmp_path / "cache")
+
+
+class TestModelValidation:
+    def test_priority_axis_validates_values(self):
+        bad = FAIRNESS_CAMPAIGN + '\npriority = ["user:2", "lifo:9"]\n'
+        with pytest.raises(CampaignError, match="lifo:9"):
+            loads_campaign(bad)
+
+    def test_priority_axis_accepted(self):
+        camp = loads_campaign(FAIRNESS_CAMPAIGN + '\npriority = ["user:2", "rr:3"]\n')
+        assert camp.axes["priority"] == ["user:2", "rr:3"]
+
+    def test_scheduler_axis_error_is_registry_derived(self):
+        bad = FAIRNESS_CAMPAIGN.replace('"drr"', '"sjf"')
+        with pytest.raises(CampaignError, match="'wfq'"):
+            loads_campaign(bad)
+
+    def test_bad_priority_default_rejected(self):
+        bad = FAIRNESS_CAMPAIGN.replace('"user:2"', '"user:0"')
+        with pytest.raises(CampaignError):
+            loads_campaign(bad)
+
+
+class TestExpansion:
+    def test_specs_carry_priority_and_tenants(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        exp = expand(loads_campaign(FAIRNESS_CAMPAIGN), store=cache.traces)
+        assert len(exp.cells) == 3
+        for cell in exp.cells:
+            assert cell.spec.priority == "user:2"
+            assert cell.spec.n_users == 4
+        assert sorted(c.coords["scheduler"] for c in exp.cells) == [
+            "drr",
+            "fcfs",
+            "wfq",
+        ]
+
+    def test_n_users_is_cache_key_neutral_when_default(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        base = FAIRNESS_CAMPAIGN.replace('n_users = 4\npriority = "user:2"\n', "")
+        exp = expand(loads_campaign(base), store=cache.traces)
+        for cell in exp.cells:
+            assert cell.spec.n_users == 0
+            assert "n_users" not in cell.spec.to_dict()
+            assert "priority" not in cell.spec.to_dict()
+
+    def test_built_jobs_have_tenants_and_classes(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        exp = expand(loads_campaign(FAIRNESS_CAMPAIGN), store=cache.traces)
+        jobs = exp.cells[0].spec.build_jobs(cache.traces)
+        assert {j.user_id for j in jobs} <= set(range(4))
+        assert len({j.user_id for j in jobs}) > 1
+        assert {j.priority_class for j in jobs} == {0, 1}
+
+
+class TestFairnessReport:
+    def _ran(self, campaign_file, cache_dir):
+        assert main(["run", str(campaign_file), "--cache-dir", cache_dir, "--quiet"]) == 0
+        cache = ResultCache(cache_dir)
+        camp = loads_campaign(FAIRNESS_CAMPAIGN)
+        return expand(camp, store=cache.traces), cache
+
+    def test_rows_one_per_scheduler(self, campaign_file, cache_dir):
+        exp, cache = self._ran(campaign_file, cache_dir)
+        rows, missing = fairness_rows(exp, cache)
+        assert missing == 0
+        assert len(rows) == 3
+        for row in rows:
+            # 10 jobs drawn over 4 tenants: every cell sees several
+            # tenants, though not necessarily all of them.
+            assert 2 <= row["tenants"] <= 4
+            assert 0.0 < row["jain"] <= 1.0
+            assert row["max_min"] >= 1.0
+            assert set(FAIRNESS_COLUMNS) <= set(row)
+
+    def test_format_groups_by_scheduler_combo(self, campaign_file, cache_dir):
+        exp, cache = self._ran(campaign_file, cache_dir)
+        text = format_fairness_report(exp, cache)
+        assert "fairness report over 3 completed cells" in text
+        for name in ("fcfs", "wfq", "drr"):
+            assert name in text
+        assert "jain" in text and "tenants" in text
+
+    def test_json_export_envelope(self, campaign_file, cache_dir):
+        exp, cache = self._ran(campaign_file, cache_dir)
+        data = json.loads(export_fairness_report(exp, cache, "json"))
+        assert data["metric"] == "fairness"
+        assert len(data["cells"]) == 3
+        assert all(c["jain"] > 0 for c in data["cells"])
+
+    def test_csv_export_has_axis_and_metric_columns(self, campaign_file, cache_dir):
+        exp, cache = self._ran(campaign_file, cache_dir)
+        header = export_fairness_report(exp, cache, "csv").splitlines()[0]
+        assert "scheduler" in header
+        for col in FAIRNESS_COLUMNS:
+            assert col in header
+
+
+class TestFairnessCLI:
+    def test_report_fairness_flag(self, campaign_file, cache_dir, capsys):
+        main(["run", str(campaign_file), "--cache-dir", cache_dir, "--quiet"])
+        capsys.readouterr()
+        assert main(
+            ["report", str(campaign_file), "--cache-dir", cache_dir, "--fairness"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fairness report over 3 completed cells" in out
+        assert "per-tenant slowdown" in out
+
+    def test_fairness_rejects_grouping_flags(self, campaign_file, cache_dir, capsys):
+        assert main(
+            [
+                "report", str(campaign_file), "--cache-dir", cache_dir,
+                "--fairness", "--group-by", "scheduler",
+            ]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "scheduler x allocator x load" in err

@@ -17,13 +17,21 @@ from repro.mesh.clos import Dragonfly, FatTree, LeafSpine
 from repro.mesh.topology import Mesh2D, Mesh3D
 from repro.patterns.base import get_pattern
 from repro.sched.job import Job
+from repro.sched.registry import apply_priority
 from repro.sched.simulator import Simulation
 from repro.trace.synthetic import sdsc_paragon_trace
 
 
 def _jobs_for(mesh, n_jobs=60, seed=3, runtime_scale=0.02):
-    trace = sdsc_paragon_trace(seed=seed, n_jobs=n_jobs, runtime_scale=runtime_scale)
-    return [j for j in trace if j.size <= mesh.n_nodes]
+    # Tenant-bearing jobs with spread priority classes, so the wfq and
+    # drr combos exercise real multi-class/multi-tenant schedules (and
+    # fcfs/easy prove they carry the fields through untouched).
+    trace = sdsc_paragon_trace(
+        seed=seed, n_jobs=n_jobs, runtime_scale=runtime_scale, n_users=5
+    )
+    return apply_priority(
+        [j for j in trace if j.size <= mesh.n_nodes], "user:3"
+    )
 
 
 def _run(mesh, allocator, pattern, scheduler, engine, jobs, seed=7):
@@ -55,8 +63,16 @@ COMBOS = [
     pytest.param(Mesh2D(16, 16), "contiguous", "random", "fcfs", id="2d-contig-random"),
     pytest.param(Mesh2D(8, 8), "gen-alg", "cplant-test-suite", "fcfs", id="2d-cplant"),
     pytest.param(Mesh2D(8, 8), "mc", "all-to-all", "easy", id="2d-mc-easy"),
+    # The fair queueing disciplines share the same policy object between
+    # engines, so structural bit-identity must hold for them too.
+    pytest.param(Mesh2D(8, 8), "hilbert+bf", "all-to-all", "wfq", id="2d-a2a-wfq"),
+    pytest.param(Mesh2D(8, 8), "mc", "all-to-all", "drr", id="2d-mc-drr"),
+    pytest.param(
+        Mesh3D(4, 4, 4), "hilbert+bf", "n-body", "drr", id="3d-nbody-drr"
+    ),
     # Switched fabrics route through GraphLinkSpace in both engines.
     pytest.param(FatTree(4), "rack-aware", "all-to-all", "fcfs", id="fattree-rack"),
+    pytest.param(FatTree(4), "rack-aware", "ring", "wfq", id="fattree-wfq"),
     pytest.param(LeafSpine(6, 3), "pod-local", "ring", "easy", id="leafspine-pod"),
     pytest.param(
         Dragonfly(5, 3, 2), "random", "n-body", "fcfs", id="dragonfly-random"

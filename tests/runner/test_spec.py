@@ -5,8 +5,14 @@ import json
 import pytest
 
 from repro.runner import ExperimentSpec, run_cell
-from repro.runner.spec import CellResult, summary_from_dict, summary_to_dict
-from repro.sched.job import Job
+from repro.runner.spec import (
+    CellResult,
+    _job_from_list,
+    _job_to_list,
+    summary_from_dict,
+    summary_to_dict,
+)
+from repro.sched.job import Job, JobResult
 from repro.trace.store import TraceStore, trace_digest
 from repro.trace.synthetic import apply_load_factor, drop_oversized, sdsc_paragon_trace
 
@@ -320,3 +326,48 @@ class TestCellResult:
     def test_summary_dict_helpers(self):
         cell = run_cell(SPEC)
         assert summary_from_dict(summary_to_dict(cell.summary)) == cell.summary
+
+
+class TestJobRowCodec:
+    """Full-row artifact (de)serialisation across the tenancy widening."""
+
+    def _result(self, **kw):
+        return JobResult(
+            job_id=0,
+            arrival=0.0,
+            start=1.0,
+            completion=11.0,
+            size=4,
+            quota=40.0,
+            pairwise_hops=2.5,
+            message_hops=2.0,
+            n_components=1,
+            message_pairs=6,
+            held=4,
+            **kw,
+        )
+
+    def test_default_tenancy_trimmed_from_row(self):
+        """Sentinel tenancy never reaches disk: legacy artifact bytes."""
+        row = _job_to_list(self._result())
+        assert len(row) == 11
+        assert _job_from_list(row) == self._result()
+
+    def test_tenancy_round_trips_when_present(self):
+        job = self._result(user_id=5, priority_class=2)
+        row = _job_to_list(job)
+        assert row[-2:] == [5, 2]
+        assert _job_from_list(row) == job
+
+    def test_user_without_class_keeps_twelve_columns(self):
+        job = self._result(user_id=5)
+        row = _job_to_list(job)
+        assert len(row) == 12
+        assert _job_from_list(row) == job
+
+    def test_legacy_eleven_column_row_decodes(self):
+        """Rows written before the tenancy fields decode to sentinels."""
+        row = _job_to_list(self._result())[:11]
+        decoded = _job_from_list(row)
+        assert decoded.user_id == -1
+        assert decoded.priority_class == 0

@@ -7,6 +7,13 @@ from repro.trace.store import TraceStore, canonical_trace, trace_digest
 
 TRACE_A = tuple((i, 13.5 * i, 2 ** (i % 5), 7.25 * (i + 1)) for i in range(40))
 TRACE_B = ((0, 0.0, 1, 10.0), (1, 2.5, 352, 0.125))
+# Ragged tenancy widths in one trace: 4-col, user-only, user+class rows.
+TRACE_TENANTS = (
+    (0, 0.0, 4, 10.0),
+    (1, 1.0, 2, 5.0, 3),
+    (2, 2.0, 8, 1.0, -1, 2),
+    (3, 3.0, 1, 2.0, 6, 1),
+)
 
 
 def _write(path, traces):
@@ -49,6 +56,30 @@ class TestRoundTrip:
             assert seg.get(digest) == ()
         finally:
             seg.close()
+
+    def test_tenancy_rows_round_trip_ragged(self, tmp_path):
+        """Regression: mixed-width tenancy rows used to be truncated to
+        four columns in transit (``zip(*rows)`` stops at the shortest
+        row), silently stripping every worker-computed cell of its
+        tenants.  The decoded trace must be tuple-identical to the
+        store's ragged canonical form."""
+        path = tmp_path / "seg.bin"
+        expected = _write(path, [TRACE_TENANTS, TRACE_A])
+        seg = TraceSegment(path)
+        try:
+            for digest, rows in expected.items():
+                assert seg.get(digest) == canonical_trace(rows)
+        finally:
+            seg.close()
+
+    def test_tenant_free_bytes_unchanged(self, tmp_path):
+        """A segment of 4-column traces must not grow index width fields
+        (legacy readers and byte-level comparisons stay valid)."""
+        path = tmp_path / "seg.bin"
+        (digest,) = _write(path, [TRACE_B])
+        payload = path.read_bytes()
+        assert b'"' + digest.encode() + b'":[0,2]' in payload
+        assert b"width" not in payload
 
     def test_get_is_memoised(self, tmp_path):
         path = tmp_path / "seg.bin"

@@ -86,3 +86,32 @@ class TestTraceStore:
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-cache"))
         assert default_cache_root() == tmp_path / "env-cache"
         assert default_store().root == tmp_path / "env-cache" / "traces"
+
+
+class TestTenancyColumns:
+    def test_trailing_defaults_collapse(self):
+        """Rows with sentinel tenancy canonicalise to the historical
+        4-column form, so tenant-free traces keep their digests."""
+        assert canonical_trace([(0, 0.0, 4, 10.0, -1, 0)]) == ((0, 0.0, 4, 10.0),)
+        assert trace_digest([(0, 0.0, 4, 10.0, -1, 0)]) == trace_digest(
+            [(0, 0.0, 4, 10.0)]
+        )
+
+    def test_user_only_and_full_width_forms(self):
+        assert canonical_trace([(0, 0.0, 4, 10.0, 3, 0)]) == ((0, 0.0, 4, 10.0, 3),)
+        # A non-zero class forces the user column even at its sentinel.
+        assert canonical_trace([(0, 0.0, 4, 10.0, -1, 2)]) == ((0, 0.0, 4, 10.0, -1, 2),)
+
+    def test_tenancy_distinguishes_digests(self):
+        assert trace_digest([(0, 0.0, 4, 10.0, 3)]) != trace_digest([(0, 0.0, 4, 10.0)])
+
+    def test_store_round_trips_tenancy(self, tmp_path):
+        store = TraceStore(tmp_path / "traces")
+        rows = [(0, 0.0, 4, 10.0, 3), (1, 1.0, 2, 5.0, -1, 2), (2, 2.0, 1, 1.0)]
+        digest = store.put(rows)
+        assert store.get(digest) == canonical_trace(rows)
+
+    def test_four_column_digest_pin(self):
+        """The pre-tenancy content address, pinned: cache keys of every
+        artifact written before this column existed must not move."""
+        assert trace_digest([(0, 0.0, 4, 10.0)])[:12] == "83eb952851e7"

@@ -162,3 +162,71 @@ class TestMissingFile:
     def test_string_paths_also_checked(self):
         with pytest.raises(FileNotFoundError, match="no-such-file.swf"):
             parse_swf("no-such-file.swf")
+
+
+def swf_line_user(job_number, submit, run_time, procs, user):
+    fields = [str(-1)] * 18
+    fields[0] = str(job_number)
+    fields[1] = str(submit)
+    fields[3] = str(run_time)
+    fields[4] = str(procs)
+    fields[11] = str(user)
+    return " ".join(fields)
+
+
+class TestUserField:
+    def test_user_id_parsed(self):
+        jobs = read_swf(io.StringIO(swf_line_user(1, 0, 10, 4, 17)))
+        assert jobs[0].user_id == 17
+
+    def test_absent_user_is_sentinel(self):
+        jobs = read_swf(io.StringIO(swf_line(1, 0, 10, 4)))
+        assert jobs[0].user_id == -1
+
+    def test_float_formatted_user_accepted(self):
+        """Some logs write the user field as '3.0'."""
+        jobs = read_swf(io.StringIO(swf_line_user(1, 0, 10, 4, "3.0")))
+        assert jobs[0].user_id == 3
+
+    def test_malformed_user_kept_and_counted(self):
+        """Satellite: a non-numeric user field keeps the job (tenancy
+        unknown) and is counted, never silently defaulted."""
+        text = "\n".join(
+            [
+                swf_line_user(1, 0, 10, 4, "operator"),
+                swf_line_user(2, 10, 10, 4, 3),
+            ]
+        )
+        jobs, report = parse_swf(io.StringIO(text))
+        assert [j.user_id for j in jobs] == [-1, 3]
+        assert report.n_bad_users == 1
+        assert "1 malformed user ids defaulted to -1" in report.summary()
+
+    def test_negative_user_is_sentinel_not_malformed(self):
+        """-1 is the SWF spec's own 'unknown' value: not an error."""
+        jobs, report = parse_swf(io.StringIO(swf_line_user(1, 0, 10, 4, -3)))
+        assert jobs[0].user_id == -1
+        assert report.n_bad_users == 0
+
+    def test_clean_parse_summary_omits_user_note(self):
+        _, report = parse_swf(io.StringIO(swf_line_user(1, 0, 10, 4, 2)))
+        assert "malformed user" not in report.summary()
+
+    def test_write_swf_round_trips_user(self):
+        jobs = [Job(0, 0.0, 4, 10.0, user_id=5), Job(1, 3.0, 2, 5.0)]
+        out = io.StringIO()
+        write_swf(jobs, out)
+        back = read_swf(io.StringIO(out.getvalue()))
+        assert [j.user_id for j in back] == [5, -1]
+
+
+class TestBundledUsersFixture:
+    def test_tenant_bearing_mini_fixture(self):
+        from repro.trace.archive import bundled_mini_swf_users
+
+        jobs, report = parse_swf(bundled_mini_swf_users())
+        users = {j.user_id for j in jobs}
+        # job_number % 7 tenants, the spec sentinel for the short and
+        # negative-user records, and exactly one malformed entry.
+        assert users == {-1, 0, 1, 2, 3, 4, 5, 6}
+        assert report.n_bad_users == 1
